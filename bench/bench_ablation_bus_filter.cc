@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Ablation A3: the filtered-weight rule of Algorithm 2. Compares
+ * the paper's filter (own weight minus neighbours' weights) against
+ * plain greedy-by-raw-weight selection: total captured diagonal
+ * coupling weight and resulting post-mapping gate count.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "benchmarks/suite.hh"
+#include "design/design_flow.hh"
+#include "eval/report.hh"
+#include "mapping/sabre.hh"
+#include "profile/coupling.hh"
+
+using namespace qpad;
+using arch::Architecture;
+
+namespace
+{
+
+/** Greedy raw-weight selection (no neighbour filter). */
+design::BusSelectionResult
+selectRawGreedy(const Architecture &arch,
+                const profile::CouplingProfile &prof,
+                std::size_t max_buses)
+{
+    design::BusSelectionResult result;
+    Architecture scratch = arch;
+    for (std::size_t round = 0; round < max_buses; ++round) {
+        uint64_t best_w = 0;
+        arch::Coord best{};
+        bool found = false;
+        for (const auto &sq : scratch.eligibleSquares()) {
+            if (!scratch.canAddFourQubitBus(sq.origin))
+                continue;
+            uint64_t w = 0;
+            for (auto [a, b] : sq.diagonals)
+                w += prof.strength(a, b);
+            if (w > best_w) {
+                best_w = w;
+                best = sq.origin;
+                found = true;
+            }
+        }
+        if (!found)
+            break;
+        scratch.addFourQubitBus(best);
+        result.selected.push_back(best);
+        result.weights.push_back(best_w);
+    }
+    return result;
+}
+
+uint64_t
+totalWeight(const design::BusSelectionResult &sel)
+{
+    uint64_t sum = 0;
+    for (auto w : sel.weights)
+        sum += w;
+    return sum;
+}
+
+} // namespace
+
+int
+main()
+{
+    eval::printHeader(std::cout,
+                      "Ablation: filtered weight vs raw greedy bus "
+                      "selection");
+    std::cout << "bench             buses  filt-weight raw-weight | "
+              << "filt-gates raw-gates\n";
+
+    for (const auto &info : benchmarks::paperSuite()) {
+        auto circ = info.generate();
+        auto prof = profile::profileCircuit(circ);
+        auto layout = design::designLayout(prof);
+        Architecture bare(layout.layout, "bare");
+
+        auto filtered = design::selectBuses(bare, prof, SIZE_MAX);
+        auto raw =
+            selectRawGreedy(bare, prof, filtered.selected.size());
+        if (filtered.selected.empty()) {
+            std::cout << "  " << info.name
+                      << ": no beneficial squares (chain pattern)\n";
+            continue;
+        }
+
+        Architecture with_filtered = bare;
+        design::applyBusSelection(with_filtered, filtered);
+        Architecture with_raw = bare;
+        design::applyBusSelection(with_raw, raw);
+
+        auto g_f = mapping::mapCircuit(circ, with_filtered).total_gates;
+        auto g_r = mapping::mapCircuit(circ, with_raw).total_gates;
+
+        std::cout << "  " << info.name;
+        for (std::size_t pad = info.name.size(); pad < 16; ++pad)
+            std::cout << ' ';
+        std::cout << filtered.selected.size() << "      "
+                  << totalWeight(filtered) << "      "
+                  << totalWeight(raw) << "   |   " << g_f << "   "
+                  << g_r << "\n";
+    }
+    std::cout << "\nExpected shape: raw greedy can block two good "
+              << "neighbours by taking a middle\nsquare, so the "
+              << "filter usually captures comparable-or-more total "
+              << "weight; the\ndecisive metric is the post-mapping "
+              << "gate count, where the filtered choice\nshould be "
+              << "equal or better.\n";
+    return 0;
+}

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Ablation A2: Algorithm 1's cost function. Compares three
+ * placements — Algorithm 1 (strength x distance), naive row-major
+ * packing, and random placement — by (a) the placement cost
+ * functional and (b) the post-mapping gate count on the resulting
+ * 2-qubit-bus chip.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "benchmarks/suite.hh"
+#include "common/rng.hh"
+#include "design/layout_design.hh"
+#include "eval/report.hh"
+#include "mapping/sabre.hh"
+#include "profile/coupling.hh"
+
+using namespace qpad;
+using eval::formatFixed;
+
+namespace
+{
+
+std::size_t
+gatesOn(const std::vector<arch::Coord> &coords,
+        const circuit::Circuit &circ)
+{
+    arch::Layout layout;
+    for (const auto &c : coords)
+        layout.addQubit(c);
+    arch::Architecture chip(layout, "probe");
+    if (!chip.isConnectedGraph())
+        return 0; // random placement may disconnect; report as n/a
+    return mapping::mapCircuit(circ, chip).total_gates;
+}
+
+} // namespace
+
+int
+main()
+{
+    eval::printHeader(std::cout,
+                      "Ablation: layout cost function (Algorithm 1 "
+                      "vs naive vs random)");
+    std::cout << "bench             alg1-cost naive-cost rand-cost |"
+              << " alg1-gates naive-gates\n";
+
+    for (const auto &info : benchmarks::paperSuite()) {
+        auto circ = info.generate();
+        auto prof = profile::profileCircuit(circ);
+        auto designed = design::designLayout(prof);
+
+        // Naive row-major packing on a width-4 strip.
+        std::vector<arch::Coord> naive(prof.num_qubits);
+        for (std::size_t q = 0; q < prof.num_qubits; ++q)
+            naive[q] = {int(q) / 4, int(q) % 4};
+
+        // Random permutation of the same strip.
+        Rng rng(314159);
+        std::vector<arch::Coord> random = naive;
+        for (std::size_t i = random.size(); i > 1; --i)
+            std::swap(random[i - 1], random[rng.below(i)]);
+
+        uint64_t c_alg1 = designed.placement_cost;
+        uint64_t c_naive = design::placementCost(prof, naive);
+        uint64_t c_rand = design::placementCost(prof, random);
+
+        std::size_t g_alg1 = gatesOn(designed.coord_of_logical, circ);
+        std::size_t g_naive = gatesOn(naive, circ);
+
+        std::cout << "  " << info.name;
+        for (std::size_t pad = info.name.size(); pad < 16; ++pad)
+            std::cout << ' ';
+        std::cout << c_alg1 << "  " << c_naive << "  " << c_rand
+                  << "  |  " << g_alg1 << "  " << g_naive << "\n";
+    }
+    std::cout << "\nExpected shape: alg1-cost <= naive-cost <= "
+              << "rand-cost, and the gate counts track the cost "
+              << "functional\n(the heuristic is a faithful proxy for "
+              << "routing overhead).\n";
+    return 0;
+}

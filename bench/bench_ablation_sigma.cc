@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Ablation A1: fabrication precision sweep. The paper fixes
+ * sigma = 30 MHz ("a realistic extrapolation of progress"); this
+ * bench shows how the yield of the baselines and of one
+ * application-specific design scales when sigma moves between
+ * IBM's historic values (200 MHz -> 130 MHz) and the projection.
+ */
+
+#include <iostream>
+
+#include "arch/ibm.hh"
+#include "bench_common.hh"
+#include "benchmarks/suite.hh"
+#include "design/design_flow.hh"
+#include "eval/report.hh"
+#include "profile/coupling.hh"
+#include "yield/yield_sim.hh"
+
+using namespace qpad;
+using eval::formatYield;
+
+int
+main()
+{
+    eval::printHeader(std::cout,
+                      "Ablation: yield vs fabrication precision "
+                      "sigma");
+
+    auto base = bench::paperOptions();
+
+    // One representative application-specific design (UCCSD, K=1).
+    auto circ = benchmarks::getBenchmark("UCCSD_ansatz_8").generate();
+    auto prof = profile::profileCircuit(circ);
+    design::DesignFlowOptions flow;
+    flow.max_buses = 1;
+    flow.freq_options = base.freq_options;
+    auto eff = design::designArchitecture(prof, flow, "eff-uccsd-k1");
+
+    std::vector<arch::Architecture> chips = arch::ibmBaselines();
+    chips.push_back(eff.architecture);
+
+    std::cout << "sigma(MHz)";
+    for (const auto &a : chips)
+        std::cout << "  " << a.name();
+    std::cout << "\n";
+
+    for (double sigma_mhz : {10.0, 20.0, 30.0, 60.0, 130.0, 200.0}) {
+        auto yopts = base.yield_options;
+        yopts.sigma_ghz = sigma_mhz / 1000.0;
+        std::cout << "  " << sigma_mhz << "   ";
+        for (const auto &a : chips)
+            std::cout << "  " << formatYield(
+                yield::estimateYield(a, yopts).yield);
+        std::cout << "\n";
+    }
+    std::cout << "\nExpected shape: yield decays rapidly with sigma; "
+              << "at IBM's historic 130-200 MHz\nall multi-qubit "
+              << "chips are impractical (the paper's motivation for "
+              << "the 30 MHz projection),\nand the application-"
+              << "specific design dominates at every sigma.\n";
+    return 0;
+}

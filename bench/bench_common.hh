@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Shared configuration for the bench binaries.
+ *
+ * Every bench honours the QPAD_FAST environment variable (any
+ * non-empty value) to run with reduced Monte Carlo budgets during
+ * development; the default budgets follow the paper (10,000 yield
+ * trials, sigma = 30 MHz).
+ */
+
+#ifndef QPAD_BENCH_BENCH_COMMON_HH
+#define QPAD_BENCH_BENCH_COMMON_HH
+
+#include <cstdlib>
+
+#include "eval/experiment.hh"
+
+namespace qpad::bench
+{
+
+inline bool
+fastMode()
+{
+    const char *fast = std::getenv("QPAD_FAST");
+    return fast && *fast;
+}
+
+/** Paper-fidelity experiment options (or scaled-down in fast mode). */
+inline eval::ExperimentOptions
+paperOptions()
+{
+    eval::ExperimentOptions opts;
+    if (fastMode()) {
+        opts.yield_options.trials = 1000;
+        opts.max_yield_trials = 100000;
+        opts.freq_options.local_trials = 300;
+        opts.freq_options.refine_sweeps = 1;
+        opts.random_bus_samples = 3;
+    } else {
+        opts.yield_options.trials = 10000; // paper Section 5.1
+        // Dense 16-qubit chips need a large local budget before the
+        // candidate argmax rises above Monte Carlo noise.
+        opts.freq_options.local_trials = 8000;
+        opts.random_bus_samples = 5;
+    }
+    opts.yield_options.sigma_ghz = 0.030; // paper Section 5.1
+    return opts;
+}
+
+} // namespace qpad::bench
+
+#endif // QPAD_BENCH_BENCH_COMMON_HH

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Extension A6 (paper Section 6, future work): auxiliary routing
+ * qubits. Adds 0..3 auxiliary physical qubits to the generated
+ * layouts and reports the performance/yield trade they buy — the
+ * mirror image of the 4-qubit-bus knob.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "benchmarks/suite.hh"
+#include "design/auxiliary.hh"
+#include "design/design_flow.hh"
+#include "eval/report.hh"
+#include "mapping/sabre.hh"
+#include "profile/coupling.hh"
+#include "yield/yield_sim.hh"
+
+using namespace qpad;
+using eval::formatYield;
+
+int
+main()
+{
+    auto base = bench::paperOptions();
+
+    eval::printHeader(std::cout,
+                      "Extension: auxiliary routing qubits "
+                      "(Section 6 future work)");
+    std::cout << "bench             aux  Q conn  gates  swaps  yield\n";
+
+    for (const char *name :
+         {"qft_16", "misex1_241", "cm152a_212", "square_root_7"}) {
+        auto circ = benchmarks::getBenchmark(name).generate();
+        auto prof = profile::profileCircuit(circ);
+        auto layout = design::designLayout(prof);
+
+        std::size_t last_added = SIZE_MAX;
+        for (std::size_t n_aux : {0u, 1u, 2u, 3u}) {
+            auto aux =
+                design::addAuxiliaryQubits(layout.layout, prof, n_aux);
+            if (aux.added.size() == last_added)
+                break; // no further beneficial node exists
+            last_added = aux.added.size();
+            arch::Architecture chip(aux.layout,
+                                    std::string(name) + "-aux" +
+                                        std::to_string(n_aux));
+            design::FreqAllocOptions fopts = base.freq_options;
+            design::applyOptimizedFrequencies(chip, fopts);
+
+            auto mapped = mapping::mapCircuit(circ, chip);
+            auto y = yield::estimateYield(chip, base.yield_options);
+
+            std::cout << "  " << name;
+            for (std::size_t pad = std::string(name).size(); pad < 16;
+                 ++pad)
+                std::cout << ' ';
+            std::cout << aux.added.size() << "   " << chip.numQubits()
+                      << " " << chip.numEdges() << "   "
+                      << mapped.total_gates << "   " << mapped.swaps
+                      << "   " << formatYield(y.yield) << "\n";
+        }
+    }
+    std::cout << "\nExpected shape: each auxiliary qubit reduces the "
+              << "post-mapping gate count\n(more routing freedom) "
+              << "and reduces yield (more qubits and connections) — "
+              << "the\nsame Pareto frontier the 4-qubit-bus knob "
+              << "walks, from the other side.\n";
+    return 0;
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Extension A7 (paper Section 6, future work): temporal profiling.
+ * Reports each benchmark's temporal pair-reuse (how static its
+ * coupling set is over time) and compares the layout produced from
+ * the plain profile against one produced from a decay-weighted
+ * temporal profile.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "benchmarks/suite.hh"
+#include "design/layout_design.hh"
+#include "eval/report.hh"
+#include "mapping/sabre.hh"
+#include "profile/coupling.hh"
+#include "profile/temporal.hh"
+
+using namespace qpad;
+using eval::formatFixed;
+
+int
+main()
+{
+    eval::printHeader(std::cout,
+                      "Extension: temporal profiling "
+                      "(Section 6 future work)");
+    std::cout << "bench             reuse  plain-gates weighted-gates"
+              << "  delta\n";
+
+    for (const auto &info : benchmarks::paperSuite()) {
+        auto circ = info.generate();
+        auto plain = profile::profileCircuit(circ);
+        auto temporal = profile::profileTemporal(circ, 8);
+        // decay 0.7: early windows weigh ~5x the last window.
+        auto weighted = temporal.weighted(0.7, 16);
+
+        auto lay_plain = design::designLayout(plain);
+        auto lay_weighted = design::designLayout(weighted);
+
+        arch::Architecture chip_plain(lay_plain.layout, "plain");
+        arch::Architecture chip_weighted(lay_weighted.layout,
+                                         "weighted");
+
+        auto g_plain =
+            mapping::mapCircuit(circ, chip_plain).total_gates;
+        auto g_weighted =
+            mapping::mapCircuit(circ, chip_weighted).total_gates;
+
+        std::cout << "  " << info.name;
+        for (std::size_t pad = info.name.size(); pad < 16; ++pad)
+            std::cout << ' ';
+        std::cout << formatFixed(temporal.pairReuse(), 2) << "   "
+                  << g_plain << "   " << g_weighted << "   "
+                  << formatFixed(
+                         100.0 * (double(g_plain) - double(g_weighted)) /
+                             double(g_plain),
+                         1)
+                  << "%\n";
+    }
+    std::cout << "\nReading: high reuse means the coupling set is "
+              << "static and temporal weighting\nchanges little "
+              << "(the paper's intuition for why the plain profile "
+              << "suffices);\nlow-reuse programs are where finer-"
+              << "grained temporal profiling could win.\n";
+    return 0;
+}

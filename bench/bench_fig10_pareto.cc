@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Experiment E5 (paper Figure 10): the main result. For each of the
+ * twelve benchmarks, prints the yield vs normalized-reciprocal-gate-
+ * count series of all five experiment configurations (ibm, eff-full,
+ * eff-5-freq, eff-rd-bus, eff-layout-only).
+ *
+ * The paper's reading: eff-full points sit up and to the right of
+ * the ibm baselines (better Pareto front); ising_model_16 collapses
+ * to a vertical line (Section 5.3.1); qft_16's bus selection behaves
+ * like random selection (Section 5.4.2).
+ *
+ * Set QPAD_FIG10_CSV=1 to additionally emit machine-readable CSV.
+ */
+
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+
+#include "bench_common.hh"
+#include "benchmarks/suite.hh"
+#include "eval/experiment.hh"
+#include "eval/report.hh"
+
+using namespace qpad;
+
+int
+main()
+{
+    auto options = bench::paperOptions();
+    const bool csv = std::getenv("QPAD_FIG10_CSV") != nullptr;
+
+    eval::printHeader(std::cout,
+                      "Figure 10: yield vs normalized 1/gate-count, "
+                      "five configurations");
+    std::cout << "yield trials = " << options.yield_options.trials
+              << ", sigma = "
+              << options.yield_options.sigma_ghz * 1000 << " MHz\n\n";
+
+    bool csv_header = true;
+    for (const auto &info : benchmarks::paperSuite()) {
+        auto experiment = eval::runBenchmark(info, options);
+        eval::printExperiment(std::cout, experiment);
+        if (csv) {
+            eval::printExperimentCsv(std::cout, experiment, csv_header);
+            csv_header = false;
+        }
+
+        // Per-benchmark headline, matching Section 5.3: the most
+        // simplified eff design against ibm(1), and the richest eff
+        // design against ibm(4).
+        const eval::DataPoint *ibm1 = nullptr, *ibm4 = nullptr;
+        for (const auto &p : experiment.points) {
+            if (p.arch_name == "ibm-16q-2qbus")
+                ibm1 = &p;
+            if (p.arch_name == "ibm-20q-4qbus")
+                ibm4 = &p;
+        }
+        auto eff = experiment.config("eff-full");
+        if (ibm1 && ibm4 && !eff.empty()) {
+            const auto *eff_min = eff.front();
+            const auto *eff_max = eff.back();
+            auto ratio_cell = [](double num,
+                                 const eval::DataPoint *den) {
+                double floor = den->yield_trials > 0
+                                   ? 1.0 / double(den->yield_trials)
+                                   : 1e-7;
+                std::string prefix = den->yield > 0 ? "" : ">=";
+                return prefix +
+                       eval::formatFixed(
+                           num / std::max(den->yield, floor), 1) +
+                       "x";
+            };
+            std::cout << "  summary: eff-min vs ibm(1): yield "
+                      << ratio_cell(eff_min->yield, ibm1)
+                      << ", gates "
+                      << eval::formatFixed(double(eff_min->gate_count) /
+                                               ibm1->gate_count,
+                                           3)
+                      << ";  eff-max vs ibm(4): yield "
+                      << ratio_cell(eff_max->yield, ibm4)
+                      << ", gates "
+                      << eval::formatFixed(double(eff_max->gate_count) /
+                                               ibm4->gate_count,
+                                           3)
+                      << "\n";
+        }
+        std::cout << "\n";
+    }
+    return 0;
+}

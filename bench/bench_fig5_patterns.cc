@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Experiment E3 (paper Figure 5): qubit coupling-strength patterns
+ * of UCCSD_ansatz_8 (chain-dominant) and misex1_241 (inputs never
+ * couple; output/work qubits couple heavily).
+ */
+
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "benchmarks/suite.hh"
+#include "eval/report.hh"
+#include "profile/coupling.hh"
+
+using namespace qpad;
+
+namespace
+{
+
+void
+show(const std::string &name)
+{
+    const auto &info = benchmarks::getBenchmark(name);
+    auto circ = info.generate();
+    auto prof = profile::profileCircuit(circ);
+
+    eval::printHeader(std::cout, name + "  (" +
+                                     std::to_string(circ.numQubits()) +
+                                     " qubits, " + info.domain + ")");
+    std::cout << "two-qubit gates: " << prof.total_two_qubit_gates
+              << "\n\ncoupling strength matrix:\n"
+              << prof.strengthTable() << "\n";
+
+    std::cout << "coupling degree list (qubit: degree):";
+    for (std::size_t i = 0; i < prof.degree_list.size(); ++i) {
+        auto q = prof.degree_list[i];
+        std::cout << (i % 8 == 0 ? "\n  " : "  ") << "q" << q << ": "
+                  << prof.degrees[q];
+    }
+    std::cout << "\n\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    show("UCCSD_ansatz_8");
+    std::cout << "Expected shape (paper Fig. 5 left): adjacent-index "
+              << "pairs (the chain)\ncarry most of the weight; other "
+              << "pairs are ~10% or zero.\n\n";
+
+    show("misex1_241");
+    std::cout << "Expected shape (paper Fig. 5 right): the input "
+              << "qubits q0..q7 never couple\nto each other directly"
+              << " as a dominant pattern; the output/work qubits\n"
+              << "q8..q14 accumulate heavy coupling.\n";
+
+    // Quantified shape checks printed as PASS/FAIL-style rows.
+    auto uccsd = profile::profileCircuit(
+        benchmarks::getBenchmark("UCCSD_ansatz_8").generate());
+    uint64_t chain = 0, off = 0;
+    for (std::size_t i = 0; i < 8; ++i)
+        for (std::size_t j = i + 1; j < 8; ++j)
+            (j == i + 1 ? chain : off) += uccsd.strength(i, j);
+    std::cout << "\nUCCSD chain weight share: "
+              << eval::formatFixed(double(chain) / double(chain + off),
+                                   3)
+              << " (paper: dominant)\n";
+
+    auto misex = profile::profileCircuit(
+        benchmarks::getBenchmark("misex1_241").generate());
+    // Shape checks. Note one documented deviation (DESIGN.md): in
+    // the RevLib original, several input lines never couple at all;
+    // our PPRM synthesis decomposes Toffolis with the standard 6-CX
+    // network, whose phase-correction stage couples co-controlling
+    // inputs. The robust Figure 5 properties — a strongly
+    // non-uniform matrix whose heaviest qubits are the output/work
+    // lines — are preserved and quantified here.
+    std::vector<uint32_t> weights;
+    for (std::size_t i = 0; i < 15; ++i)
+        for (std::size_t j = i + 1; j < 15; ++j)
+            if (misex.strength(i, j))
+                weights.push_back(misex.strength(i, j));
+    std::sort(weights.begin(), weights.end());
+    std::cout << "misex1 nonuniformity: max pair weight "
+              << weights.back() << " vs median "
+              << weights[weights.size() / 2] << " ("
+              << eval::formatFixed(double(weights.back()) /
+                                       weights[weights.size() / 2],
+                                   1)
+              << "x; paper: order-of-magnitude spread)\n";
+    uint64_t out_out = 0, total = 0;
+    for (std::size_t i = 0; i < 15; ++i) {
+        for (std::size_t j = i + 1; j < 15; ++j) {
+            total += misex.strength(i, j);
+            if (i >= 8 && j >= 8)
+                out_out += misex.strength(i, j);
+        }
+    }
+    std::cout << "misex1 zero-block: the 7 output lines carry only "
+              << eval::formatFixed(100.0 * out_out / total, 1)
+              << "% of the pair weight among themselves\n(the "
+              << "paper's figure has such a zero block among Q0..Q5; "
+              << "in our PPRM embedding the\nmutually-uncoupled "
+              << "group is the output register — see DESIGN.md "
+              << "substitutions)\n";
+    return 0;
+}

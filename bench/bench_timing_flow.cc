@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Ablation A5: wall-clock cost of every stage of the design flow
+ * (google-benchmark). Shows the flow is interactive-speed, i.e. the
+ * scalability claim of the paper's heuristics.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "arch/ibm.hh"
+#include "benchmarks/suite.hh"
+#include "design/design_flow.hh"
+#include "mapping/sabre.hh"
+#include "profile/coupling.hh"
+#include "yield/yield_sim.hh"
+
+using namespace qpad;
+
+namespace
+{
+
+const circuit::Circuit &
+bigCircuit()
+{
+    static const circuit::Circuit circ =
+        benchmarks::getBenchmark("misex1_241").generate();
+    return circ;
+}
+
+const profile::CouplingProfile &
+bigProfile()
+{
+    static const profile::CouplingProfile prof =
+        profile::profileCircuit(bigCircuit());
+    return prof;
+}
+
+void
+BM_GenerateBenchmark(benchmark::State &state)
+{
+    const auto &info = benchmarks::paperSuite()[state.range(0)];
+    for (auto _ : state)
+        benchmark::DoNotOptimize(info.generate());
+    state.SetLabel(info.name);
+}
+BENCHMARK(BM_GenerateBenchmark)->DenseRange(0, 11);
+
+void
+BM_Profile(benchmark::State &state)
+{
+    const auto &circ = bigCircuit();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(profile::profileCircuit(circ));
+}
+BENCHMARK(BM_Profile);
+
+void
+BM_LayoutDesign(benchmark::State &state)
+{
+    const auto &prof = bigProfile();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(design::designLayout(prof));
+}
+BENCHMARK(BM_LayoutDesign);
+
+void
+BM_BusSelection(benchmark::State &state)
+{
+    const auto &prof = bigProfile();
+    auto layout = design::designLayout(prof);
+    arch::Architecture chip(layout.layout);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            design::selectBuses(chip, prof, SIZE_MAX));
+}
+BENCHMARK(BM_BusSelection);
+
+void
+BM_FreqAllocation(benchmark::State &state)
+{
+    const auto &prof = bigProfile();
+    auto layout = design::designLayout(prof);
+    arch::Architecture chip(layout.layout);
+    design::applyBusSelection(chip,
+                              design::selectBuses(chip, prof, 2));
+    design::FreqAllocOptions opts;
+    opts.local_trials = state.range(0);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            design::allocateFrequencies(chip, opts));
+    state.SetLabel("local_trials=" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_FreqAllocation)->Arg(500)->Arg(2000);
+
+void
+BM_SabreMapping(benchmark::State &state)
+{
+    const auto &circ = bigCircuit();
+    auto chip = arch::ibm20Q(true);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(mapping::mapCircuit(circ, chip));
+    state.SetItemsProcessed(state.iterations() * circ.size());
+}
+BENCHMARK(BM_SabreMapping);
+
+void
+BM_YieldSimulation(benchmark::State &state)
+{
+    auto chip = arch::ibm20Q(true);
+    yield::YieldOptions opts;
+    opts.trials = state.range(0);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(yield::estimateYield(chip, opts));
+    state.SetLabel(std::to_string(state.range(0)) + " trials");
+}
+BENCHMARK(BM_YieldSimulation)->Arg(1000)->Arg(10000);
+
+void
+BM_EndToEndFlow(benchmark::State &state)
+{
+    const auto &prof = bigProfile();
+    design::DesignFlowOptions opts;
+    opts.max_buses = 2;
+    opts.freq_options.local_trials = 500;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            design::designArchitecture(prof, opts, "bm"));
+}
+BENCHMARK(BM_EndToEndFlow);
+
+} // namespace
+
+BENCHMARK_MAIN();

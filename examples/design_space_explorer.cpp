@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Domain example 3: design-space exploration. For a benchmark named
+ * on the command line (default: misex1_241), sweeps the 4-qubit bus
+ * budget and the assumed fabrication precision, emitting a CSV an
+ * architect can plot to pick an operating point.
+ *
+ * Usage: design_space_explorer [benchmark-name]
+ */
+
+#include <iostream>
+#include <string>
+
+#include "benchmarks/suite.hh"
+#include "design/design_flow.hh"
+#include "eval/report.hh"
+#include "mapping/sabre.hh"
+#include "profile/coupling.hh"
+#include "yield/yield_sim.hh"
+
+using namespace qpad;
+
+int
+main(int argc, char **argv)
+{
+    std::string name = argc > 1 ? argv[1] : "misex1_241";
+    if (!benchmarks::hasBenchmark(name)) {
+        std::cerr << "unknown benchmark '" << name << "'; options:\n";
+        for (const auto &b : benchmarks::paperSuite())
+            std::cerr << "  " << b.name << "\n";
+        return 1;
+    }
+
+    const auto &info = benchmarks::getBenchmark(name);
+    auto circ = info.generate();
+    auto prof = profile::profileCircuit(circ);
+
+    std::cerr << "exploring " << name << " (" << circ.numQubits()
+              << " qubits, " << circ.twoQubitGateCount()
+              << " two-qubit gates)\n";
+
+    std::cout << "benchmark,buses,connections,gates,swaps,"
+              << "sigma_mhz,yield\n";
+
+    design::DesignFlowOptions flow;
+    for (std::size_t k = 0; k <= 4; ++k) {
+        flow.max_buses = k;
+        auto outcome = design::designArchitecture(
+            prof, flow, name + "-k" + std::to_string(k));
+        // The sweep saturates once no more beneficial buses exist.
+        if (outcome.architecture.fourQubitBuses().size() < k)
+            break;
+
+        auto mapped = mapping::mapCircuit(circ, outcome.architecture);
+        for (double sigma_mhz : {15.0, 30.0, 60.0}) {
+            yield::YieldOptions yopts;
+            yopts.sigma_ghz = sigma_mhz / 1000.0;
+            auto y = yield::estimateYield(outcome.architecture, yopts);
+            std::cout << name << ',' << k << ','
+                      << outcome.architecture.numEdges() << ','
+                      << mapped.total_gates << ',' << mapped.swaps
+                      << ',' << sigma_mhz << ','
+                      << eval::formatYield(y.yield) << "\n";
+        }
+    }
+    return 0;
+}

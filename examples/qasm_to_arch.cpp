@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Domain example 4: design a chip for an arbitrary OpenQASM 2.0
+ * program. Reads the file given on the command line (or writes and
+ * uses a small demo program when none is given), runs the full
+ * design flow and prints the resulting architecture plus the mapped
+ * program as OpenQASM.
+ *
+ * Usage: qasm_to_arch [program.qasm]
+ */
+
+#include <fstream>
+#include <iostream>
+
+#include "circuit/decompose.hh"
+#include "circuit/qasm.hh"
+#include "design/design_flow.hh"
+#include "eval/report.hh"
+#include "mapping/sabre.hh"
+#include "profile/coupling.hh"
+#include "yield/yield_sim.hh"
+
+using namespace qpad;
+
+namespace
+{
+
+const char *demo_program = R"(OPENQASM 2.0;
+include "qelib1.inc";
+// 6-qubit hidden-shift-style demo
+qreg q[6];
+creg c[6];
+gate layer a,b { h a; cx a,b; rz(pi/8) b; cx a,b; }
+h q;
+layer q[0],q[1];
+layer q[2],q[3];
+layer q[4],q[5];
+layer q[1],q[2];
+layer q[3],q[4];
+cx q[0],q[5];
+h q;
+measure q -> c;
+)";
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    circuit::Circuit circ;
+    if (argc > 1) {
+        circ = circuit::parseQasmFile(argv[1]);
+    } else {
+        std::cout << "(no file given; using built-in demo program)\n";
+        circ = circuit::parseQasm(demo_program, "demo");
+    }
+    circ = circuit::decompose(circ);
+
+    std::cout << "program '" << circ.name() << "': "
+              << circ.numQubits() << " qubits, "
+              << circ.unitaryGateCount() << " gates ("
+              << circ.twoQubitGateCount() << " two-qubit)\n\n";
+
+    auto prof = profile::profileCircuit(circ);
+    design::DesignFlowOptions options;
+    auto outcome =
+        design::designArchitecture(prof, options, circ.name() + "-chip");
+    std::cout << outcome.architecture.str() << "\n";
+
+    auto mapped = mapping::mapCircuit(circ, outcome.architecture);
+    yield::YieldOptions yopts;
+    auto y = yield::estimateYield(outcome.architecture, yopts);
+    std::cout << "post-mapping gates: " << mapped.total_gates << " ("
+              << mapped.swaps << " swaps), yield "
+              << eval::formatYield(y.yield) << "\n\n";
+
+    std::cout << "mapped program (physical qubit indices):\n"
+              << circuit::toQasm(mapped.mapped);
+    return 0;
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Quickstart: the full qpad pipeline on the paper's own worked
+ * example (Figure 4 circuit -> Figure 6 placement), then on a real
+ * benchmark. Demonstrates the five public API stages:
+ *
+ *   1. build or load a circuit            (qpad::benchmarks / qasm)
+ *   2. profile it                         (qpad::profile)
+ *   3. design an architecture             (qpad::design)
+ *   4. map the circuit onto it            (qpad::mapping)
+ *   5. estimate the fabrication yield     (qpad::yield)
+ */
+
+#include <iostream>
+
+#include "arch/ibm.hh"
+#include "benchmarks/generators.hh"
+#include "design/design_flow.hh"
+#include "eval/report.hh"
+#include "mapping/sabre.hh"
+#include "profile/coupling.hh"
+#include "yield/yield_sim.hh"
+
+using namespace qpad;
+
+int
+main()
+{
+    // ---- 1. the 5-qubit example circuit of the paper's Figure 4.
+    circuit::Circuit circ = benchmarks::profilingExample();
+    std::cout << "circuit '" << circ.name() << "': "
+              << circ.numQubits() << " qubits, " << circ.size()
+              << " operations, " << circ.twoQubitGateCount()
+              << " two-qubit gates\n\n";
+
+    // ---- 2. profile: coupling strength matrix + degree list.
+    profile::CouplingProfile prof = profile::profileCircuit(circ);
+    std::cout << "coupling strength matrix:\n"
+              << prof.strengthTable() << "\ncoupling degree list:";
+    for (auto q : prof.degree_list)
+        std::cout << "  q" << q << "(" << prof.degrees[q] << ")";
+    std::cout << "\n\n";
+
+    // ---- 3. design: layout (Algorithm 1) + buses (Algorithm 2) +
+    //          frequencies (Algorithm 3).
+    design::DesignFlowOptions options;
+    options.max_buses = 1;
+    design::DesignOutcome outcome =
+        design::designArchitecture(prof, options, "fig6-accelerator");
+    std::cout << outcome.architecture.str() << "\n";
+
+    // ---- 4. map the program onto the generated chip.
+    mapping::MappingResult mapped =
+        mapping::mapCircuit(circ, outcome.architecture);
+    std::cout << "post-mapping gate count: " << mapped.total_gates
+              << " (" << mapped.swaps << " swaps inserted)\n";
+
+    // ---- 5. yield, compared against IBM's 16-qubit baseline.
+    yield::YieldOptions yopts;
+    auto eff = yield::estimateYield(outcome.architecture, yopts);
+    auto ibm = yield::estimateYield(arch::ibm16Q(false), yopts);
+    std::cout << "yield of the application-specific chip: "
+              << eval::formatYield(eff.yield) << "\n";
+    std::cout << "yield of ibm-16q-2qbus (general purpose): "
+              << eval::formatYield(ibm.yield) << "\n";
+    if (ibm.yield > 0)
+        std::cout << "improvement: "
+                  << eval::formatFixed(eff.yield / ibm.yield, 1)
+                  << "x with a 3x smaller chip\n";
+    return 0;
+}

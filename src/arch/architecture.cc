@@ -1,0 +1,237 @@
+#include "arch/architecture.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <set>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace qpad::arch
+{
+
+Architecture::Architecture(Layout layout, std::string name)
+    : name_(std::move(name)), layout_(std::move(layout)),
+      freqs_(layout_.numQubits(), 0.0)
+{
+}
+
+SquareInfo
+Architecture::squareAt(const Coord &origin) const
+{
+    SquareInfo info;
+    info.origin = origin;
+    // Corner order: tl, tr, bl, br.
+    const Coord tl = origin;
+    const Coord tr = origin.offset(0, 1);
+    const Coord bl = origin.offset(1, 0);
+    const Coord br = origin.offset(1, 1);
+    std::optional<PhysQubit> q_tl = layout_.qubitAt(tl);
+    std::optional<PhysQubit> q_tr = layout_.qubitAt(tr);
+    std::optional<PhysQubit> q_bl = layout_.qubitAt(bl);
+    std::optional<PhysQubit> q_br = layout_.qubitAt(br);
+    for (auto q : {q_tl, q_tr, q_bl, q_br})
+        if (q)
+            info.corners.push_back(*q);
+    if (q_tl && q_br)
+        info.diagonals.emplace_back(std::min(*q_tl, *q_br),
+                                    std::max(*q_tl, *q_br));
+    if (q_tr && q_bl)
+        info.diagonals.emplace_back(std::min(*q_tr, *q_bl),
+                                    std::max(*q_tr, *q_bl));
+    return info;
+}
+
+std::vector<SquareInfo>
+Architecture::eligibleSquares() const
+{
+    std::vector<SquareInfo> out;
+    if (layout_.numQubits() == 0)
+        return out;
+    for (int r = layout_.minRow() - 1; r <= layout_.maxRow(); ++r) {
+        for (int c = layout_.minCol() - 1; c <= layout_.maxCol(); ++c) {
+            SquareInfo info = squareAt({r, c});
+            if (info.corners.size() >= 3)
+                out.push_back(std::move(info));
+        }
+    }
+    return out;
+}
+
+bool
+Architecture::canAddFourQubitBus(const Coord &origin) const
+{
+    SquareInfo info = squareAt(origin);
+    if (info.corners.size() < 3)
+        return false;
+    for (const Coord &existing : buses_) {
+        if (existing == origin)
+            return false;
+        // Prohibited condition: squares sharing an edge.
+        int dr = std::abs(existing.row - origin.row);
+        int dc = std::abs(existing.col - origin.col);
+        if (dr + dc == 1)
+            return false;
+    }
+    return true;
+}
+
+void
+Architecture::addFourQubitBus(const Coord &origin)
+{
+    if (!canAddFourQubitBus(origin))
+        qpad_fatal("cannot place 4-qubit bus at ", origin.str(),
+                   ": square ineligible or adjacent to an existing bus");
+    buses_.push_back(origin);
+    graph_dirty_ = true;
+}
+
+std::size_t
+Architecture::numEdges() const
+{
+    return edges().size();
+}
+
+void
+Architecture::setFrequency(PhysQubit q, double ghz)
+{
+    qpad_assert(q < freqs_.size(), "qubit out of range");
+    freqs_[q] = ghz;
+}
+
+void
+Architecture::setAllFrequencies(const std::vector<double> &ghz)
+{
+    qpad_assert(ghz.size() == freqs_.size(),
+                "frequency vector size mismatch");
+    freqs_ = ghz;
+}
+
+double
+Architecture::frequency(PhysQubit q) const
+{
+    qpad_assert(q < freqs_.size(), "qubit out of range");
+    return freqs_[q];
+}
+
+bool
+Architecture::frequenciesAssigned() const
+{
+    return std::all_of(freqs_.begin(), freqs_.end(),
+                       [](double f) { return f > 0.0; });
+}
+
+void
+Architecture::rebuildGraph() const
+{
+    std::set<std::pair<PhysQubit, PhysQubit>> edge_set;
+    for (auto [a, b] : layout_.latticeEdges())
+        edge_set.emplace(std::min(a, b), std::max(a, b));
+    for (const Coord &origin : buses_) {
+        SquareInfo info = squareAt(origin);
+        for (auto &d : info.diagonals)
+            edge_set.insert(d);
+    }
+    edges_.assign(edge_set.begin(), edge_set.end());
+
+    adj_.assign(layout_.numQubits(), {});
+    for (auto [a, b] : edges_) {
+        adj_[a].push_back(b);
+        adj_[b].push_back(a);
+    }
+    for (auto &neighbors : adj_)
+        std::sort(neighbors.begin(), neighbors.end());
+
+    // All-pairs BFS.
+    const std::size_t n = layout_.numQubits();
+    dist_ = SymMatrix<uint16_t>(n, 0xffff);
+    for (PhysQubit s = 0; s < n; ++s) {
+        dist_.at(s, s) = 0;
+        std::queue<PhysQubit> fifo;
+        fifo.push(s);
+        std::vector<bool> seen(n, false);
+        seen[s] = true;
+        while (!fifo.empty()) {
+            PhysQubit u = fifo.front();
+            fifo.pop();
+            for (PhysQubit v : adj_[u]) {
+                if (!seen[v]) {
+                    seen[v] = true;
+                    dist_.at(s, v) = dist_(s, u) + 1;
+                    fifo.push(v);
+                }
+            }
+        }
+    }
+    graph_dirty_ = false;
+}
+
+const std::vector<std::pair<PhysQubit, PhysQubit>> &
+Architecture::edges() const
+{
+    if (graph_dirty_)
+        rebuildGraph();
+    return edges_;
+}
+
+const std::vector<std::vector<PhysQubit>> &
+Architecture::adjacency() const
+{
+    if (graph_dirty_)
+        rebuildGraph();
+    return adj_;
+}
+
+bool
+Architecture::connected(PhysQubit a, PhysQubit b) const
+{
+    const auto &neighbors = adjacency()[a];
+    return std::binary_search(neighbors.begin(), neighbors.end(), b);
+}
+
+const SymMatrix<uint16_t> &
+Architecture::distances() const
+{
+    if (graph_dirty_)
+        rebuildGraph();
+    return dist_;
+}
+
+bool
+Architecture::isConnectedGraph() const
+{
+    const auto &d = distances();
+    for (std::size_t i = 0; i < numQubits(); ++i)
+        for (std::size_t j = i + 1; j < numQubits(); ++j)
+            if (d(i, j) == 0xffff)
+                return false;
+    return true;
+}
+
+std::string
+Architecture::str() const
+{
+    std::ostringstream out;
+    out << "architecture '" << name_ << "': " << numQubits()
+        << " qubits, " << numEdges() << " connections, "
+        << buses_.size() << " four-qubit buses\n";
+    out << layout_.str();
+    if (!buses_.empty()) {
+        out << "4-qubit buses at:";
+        for (const Coord &b : buses_)
+            out << " " << b.str();
+        out << "\n";
+    }
+    if (frequenciesAssigned()) {
+        out << "frequencies (GHz):";
+        for (PhysQubit q = 0; q < numQubits(); ++q) {
+            out << (q % 8 == 0 ? "\n  " : "  ") << "q" << q << "="
+                << freqs_[q];
+        }
+        out << "\n";
+    }
+    return out.str();
+}
+
+} // namespace qpad::arch

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Superconducting quantum processor architecture model.
+ *
+ * An Architecture is a qubit Layout plus a bus configuration plus a
+ * pre-fabrication frequency per qubit. Every lattice edge between
+ * two occupied nodes carries an implicit 2-qubit bus; lattice unit
+ * squares may be promoted to 4-qubit buses, which additionally
+ * couple the occupied diagonal pairs (a square with exactly three
+ * occupied corners degenerates into a 3-qubit bus, paper Fig. 7b).
+ * The *prohibited condition* (no two 4-qubit buses on adjacent
+ * squares, paper Fig. 7a) is a hard physical constraint and is
+ * enforced by this class.
+ */
+
+#ifndef QPAD_ARCH_ARCHITECTURE_HH
+#define QPAD_ARCH_ARCHITECTURE_HH
+
+#include <string>
+#include <vector>
+
+#include "arch/layout.hh"
+#include "common/sym_matrix.hh"
+
+namespace qpad::arch
+{
+
+/** Frequency band and device constants used throughout the paper. */
+struct DeviceConstants
+{
+    /** Allowed pre-fabrication frequency interval (GHz). */
+    static constexpr double freq_min_ghz = 5.00;
+    static constexpr double freq_max_ghz = 5.34;
+    /** Transmon anharmonicity delta = f12 - f01 (GHz). */
+    static constexpr double anharmonicity_ghz = -0.340;
+    /** Default fabrication precision sigma (GHz) = 30 MHz. */
+    static constexpr double default_sigma_ghz = 0.030;
+};
+
+/** One lattice unit square eligible for a 4-qubit bus. */
+struct SquareInfo
+{
+    /** Top-left corner node of the square. */
+    Coord origin;
+    /** The occupied corner qubits (3 or 4 of them). */
+    std::vector<PhysQubit> corners;
+    /** Occupied diagonal pairs the 4-qubit bus would couple. */
+    std::vector<std::pair<PhysQubit, PhysQubit>> diagonals;
+};
+
+/**
+ * Immutable-layout, mutable-bus/frequency chip model with a cached
+ * coupling graph.
+ */
+class Architecture
+{
+  public:
+    Architecture() = default;
+
+    explicit Architecture(Layout layout, std::string name = "");
+
+    const std::string &name() const { return name_; }
+    void setName(std::string name) { name_ = std::move(name); }
+
+    const Layout &layout() const { return layout_; }
+    std::size_t numQubits() const { return layout_.numQubits(); }
+
+    /** @name Bus configuration */
+    /** @{ */
+    /**
+     * All squares of the layout that could host a 4-qubit bus
+     * (>= 3 occupied corners), in row-major origin order.
+     */
+    std::vector<SquareInfo> eligibleSquares() const;
+
+    /** True if a 4-qubit bus may be added at this square origin. */
+    bool canAddFourQubitBus(const Coord &origin) const;
+
+    /**
+     * Promote the square at `origin` to a 4-qubit bus.
+     * Fatal if the square is ineligible or violates the prohibited
+     * condition against an existing 4-qubit bus.
+     */
+    void addFourQubitBus(const Coord &origin);
+
+    const std::vector<Coord> &fourQubitBuses() const { return buses_; }
+
+    /** Number of distinct qubit connections (coupling graph edges). */
+    std::size_t numEdges() const;
+    /** @} */
+
+    /** @name Frequencies */
+    /** @{ */
+    void setFrequency(PhysQubit q, double ghz);
+    void setAllFrequencies(const std::vector<double> &ghz);
+    double frequency(PhysQubit q) const;
+    const std::vector<double> &frequencies() const { return freqs_; }
+    bool frequenciesAssigned() const;
+    /** @} */
+
+    /** @name Coupling graph */
+    /** @{ */
+    /** Undirected edges (a < b), lattice buses plus bus diagonals. */
+    const std::vector<std::pair<PhysQubit, PhysQubit>> &edges() const;
+
+    /** Neighbour lists. */
+    const std::vector<std::vector<PhysQubit>> &adjacency() const;
+
+    bool connected(PhysQubit a, PhysQubit b) const;
+
+    /** All-pairs shortest path lengths (BFS); unreachable = 0xffff. */
+    const SymMatrix<uint16_t> &distances() const;
+
+    /** True if every qubit can reach every other qubit. */
+    bool isConnectedGraph() const;
+    /** @} */
+
+    /** ASCII rendering with buses and frequencies. */
+    std::string str() const;
+
+  private:
+    std::string name_;
+    Layout layout_;
+    std::vector<Coord> buses_;
+    std::vector<double> freqs_;
+
+    mutable bool graph_dirty_ = true;
+    mutable std::vector<std::pair<PhysQubit, PhysQubit>> edges_;
+    mutable std::vector<std::vector<PhysQubit>> adj_;
+    mutable SymMatrix<uint16_t> dist_;
+
+    void rebuildGraph() const;
+    SquareInfo squareAt(const Coord &origin) const;
+};
+
+} // namespace qpad::arch
+
+#endif // QPAD_ARCH_ARCHITECTURE_HH

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Integer lattice coordinates for qubit placement.
+ */
+
+#ifndef QPAD_ARCH_COORD_HH
+#define QPAD_ARCH_COORD_HH
+
+#include <array>
+#include <cstdint>
+#include <cstdlib>
+#include <functional>
+#include <string>
+
+namespace qpad::arch
+{
+
+/** Physical qubit index on a chip. */
+using PhysQubit = uint32_t;
+
+/** A node of the 2-D lattice (row, col), either axis may be negative. */
+struct Coord
+{
+    int row = 0;
+    int col = 0;
+
+    bool operator==(const Coord &o) const
+    {
+        return row == o.row && col == o.col;
+    }
+
+    bool
+    operator<(const Coord &o) const
+    {
+        return row != o.row ? row < o.row : col < o.col;
+    }
+
+    Coord
+    offset(int dr, int dc) const
+    {
+        return {row + dr, col + dc};
+    }
+
+    /** Manhattan (L1) distance between lattice nodes. */
+    static int
+    manhattan(const Coord &a, const Coord &b)
+    {
+        return std::abs(a.row - b.row) + std::abs(a.col - b.col);
+    }
+
+    std::string
+    str() const
+    {
+        return "(" + std::to_string(row) + "," + std::to_string(col) +
+               ")";
+    }
+};
+
+/** The four lattice neighbours of a node (N, S, W, E). */
+inline std::array<Coord, 4>
+lattice4(const Coord &c)
+{
+    return {Coord{c.row - 1, c.col}, Coord{c.row + 1, c.col},
+            Coord{c.row, c.col - 1}, Coord{c.row, c.col + 1}};
+}
+
+struct CoordHash
+{
+    std::size_t
+    operator()(const Coord &c) const
+    {
+        return std::hash<int64_t>{}(
+            (static_cast<int64_t>(c.row) << 32) ^
+            static_cast<uint32_t>(c.col));
+    }
+};
+
+} // namespace qpad::arch
+
+#endif // QPAD_ARCH_COORD_HH

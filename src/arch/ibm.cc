@@ -1,0 +1,86 @@
+#include "arch/ibm.hh"
+
+#include "common/logging.hh"
+
+namespace qpad::arch
+{
+
+const std::vector<double> &
+fiveFrequencyValues()
+{
+    // Arithmetic progression from 5.00 to 5.27 GHz (Figure 9).
+    static const std::vector<double> values = {5.00, 5.07, 5.13, 5.20,
+                                               5.27};
+    return values;
+}
+
+void
+applyFiveFrequencyScheme(Architecture &arch)
+{
+    const auto &values = fiveFrequencyValues();
+    for (PhysQubit q = 0; q < arch.numQubits(); ++q) {
+        const Coord &c = arch.layout().coord(q);
+        int idx = ((c.col + 2 * c.row) % 5 + 5) % 5;
+        arch.setFrequency(q, values[idx]);
+    }
+}
+
+std::size_t
+addMaxFourQubitBuses(Architecture &arch)
+{
+    std::size_t added = 0;
+    for (const SquareInfo &sq : arch.eligibleSquares()) {
+        // Checkerboard parity keeps every pair of chosen squares
+        // non-adjacent; canAdd re-checks against irregular layouts.
+        if (((sq.origin.row + sq.origin.col) % 2 + 2) % 2 != 0)
+            continue;
+        if (arch.canAddFourQubitBus(sq.origin)) {
+            arch.addFourQubitBus(sq.origin);
+            ++added;
+        }
+    }
+    return added;
+}
+
+Architecture
+ibm16Q(bool with_four_qubit_buses)
+{
+    Architecture arch(Layout::grid(2, 8),
+                      with_four_qubit_buses ? "ibm-16q-4qbus"
+                                            : "ibm-16q-2qbus");
+    // Figure 9 frequency tiling for the 2x8 chip:
+    //   row 0: 3 4 5 1 2 3 4 5   row 1: 1 2 3 4 5 1 2 3
+    const auto &values = fiveFrequencyValues();
+    for (PhysQubit q = 0; q < arch.numQubits(); ++q) {
+        const Coord &c = arch.layout().coord(q);
+        int idx = (c.col + 2 + 3 * c.row) % 5;
+        arch.setFrequency(q, values[idx]);
+    }
+    if (with_four_qubit_buses) {
+        std::size_t added = addMaxFourQubitBuses(arch);
+        qpad_assert(added == 4, "expected 4 buses on 2x8, got ", added);
+    }
+    return arch;
+}
+
+Architecture
+ibm20Q(bool with_four_qubit_buses)
+{
+    Architecture arch(Layout::grid(4, 5),
+                      with_four_qubit_buses ? "ibm-20q-4qbus"
+                                            : "ibm-20q-2qbus");
+    applyFiveFrequencyScheme(arch);
+    if (with_four_qubit_buses) {
+        std::size_t added = addMaxFourQubitBuses(arch);
+        qpad_assert(added == 6, "expected 6 buses on 4x5, got ", added);
+    }
+    return arch;
+}
+
+std::vector<Architecture>
+ibmBaselines()
+{
+    return {ibm16Q(false), ibm16Q(true), ibm20Q(false), ibm20Q(true)};
+}
+
+} // namespace qpad::arch

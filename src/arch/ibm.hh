@@ -1,0 +1,52 @@
+/**
+ * @file
+ * IBM's general-purpose baseline designs (paper Figure 9) and the
+ * 5-frequency allocation scheme.
+ */
+
+#ifndef QPAD_ARCH_IBM_HH
+#define QPAD_ARCH_IBM_HH
+
+#include <string>
+#include <vector>
+
+#include "arch/architecture.hh"
+
+namespace qpad::arch
+{
+
+/** The five baseline frequencies (GHz): 5.00, 5.07, 5.13, 5.20, 5.27. */
+const std::vector<double> &fiveFrequencyValues();
+
+/**
+ * Apply the generic 5-frequency tiling `index = (col + 2*row) mod 5`
+ * to any layout. This reproduces the paper's 4x5 arrangement exactly
+ * and guarantees distinct frequencies on lattice-adjacent qubits.
+ */
+void applyFiveFrequencyScheme(Architecture &arch);
+
+/**
+ * Maximal set of 4-qubit buses under the prohibited condition: the
+ * checkerboard of eligible squares with even (row + col) parity.
+ * Returns the number of buses added.
+ */
+std::size_t addMaxFourQubitBuses(Architecture &arch);
+
+/**
+ * Baseline (1)/(2): 16 qubits on a 2x8 lattice, frequency tiling as
+ * in Figure 9, optionally with the maximal four 4-qubit buses.
+ */
+Architecture ibm16Q(bool with_four_qubit_buses);
+
+/**
+ * Baseline (3)/(4): 20 qubits on a 4x5 lattice, optionally with the
+ * maximal six 4-qubit buses.
+ */
+Architecture ibm20Q(bool with_four_qubit_buses);
+
+/** The four baselines in Figure 9 order: (1) (2) (3) (4). */
+std::vector<Architecture> ibmBaselines();
+
+} // namespace qpad::arch
+
+#endif // QPAD_ARCH_IBM_HH

@@ -1,0 +1,134 @@
+#include "arch/layout.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace qpad::arch
+{
+
+Layout
+Layout::grid(int rows, int cols)
+{
+    qpad_assert(rows >= 1 && cols >= 1, "empty grid");
+    Layout layout;
+    for (int r = 0; r < rows; ++r)
+        for (int c = 0; c < cols; ++c)
+            layout.addQubit({r, c});
+    return layout;
+}
+
+PhysQubit
+Layout::addQubit(const Coord &c)
+{
+    if (by_coord_.count(c))
+        qpad_fatal("node ", c.str(), " already occupied");
+    PhysQubit id = static_cast<PhysQubit>(coords_.size());
+    coords_.push_back(c);
+    by_coord_[c] = id;
+    return id;
+}
+
+const Coord &
+Layout::coord(PhysQubit q) const
+{
+    qpad_assert(q < coords_.size(), "qubit ", q, " out of range");
+    return coords_[q];
+}
+
+std::optional<PhysQubit>
+Layout::qubitAt(const Coord &c) const
+{
+    auto it = by_coord_.find(c);
+    if (it == by_coord_.end())
+        return std::nullopt;
+    return it->second;
+}
+
+int
+Layout::minRow() const
+{
+    qpad_assert(!coords_.empty(), "empty layout");
+    return std::min_element(coords_.begin(), coords_.end(),
+                            [](auto &a, auto &b) { return a.row < b.row; })
+        ->row;
+}
+
+int
+Layout::maxRow() const
+{
+    qpad_assert(!coords_.empty(), "empty layout");
+    return std::max_element(coords_.begin(), coords_.end(),
+                            [](auto &a, auto &b) { return a.row < b.row; })
+        ->row;
+}
+
+int
+Layout::minCol() const
+{
+    qpad_assert(!coords_.empty(), "empty layout");
+    return std::min_element(coords_.begin(), coords_.end(),
+                            [](auto &a, auto &b) { return a.col < b.col; })
+        ->col;
+}
+
+int
+Layout::maxCol() const
+{
+    qpad_assert(!coords_.empty(), "empty layout");
+    return std::max_element(coords_.begin(), coords_.end(),
+                            [](auto &a, auto &b) { return a.col < b.col; })
+        ->col;
+}
+
+Layout
+Layout::normalized() const
+{
+    Layout out;
+    if (coords_.empty())
+        return out;
+    int r0 = minRow(), c0 = minCol();
+    for (const Coord &c : coords_)
+        out.addQubit({c.row - r0, c.col - c0});
+    return out;
+}
+
+std::vector<std::pair<PhysQubit, PhysQubit>>
+Layout::latticeEdges() const
+{
+    std::vector<std::pair<PhysQubit, PhysQubit>> out;
+    for (PhysQubit q = 0; q < coords_.size(); ++q) {
+        // South and east neighbours only, so each edge appears once.
+        for (const Coord &n : {coords_[q].offset(1, 0),
+                               coords_[q].offset(0, 1)}) {
+            if (auto other = qubitAt(n))
+                out.emplace_back(q, *other);
+        }
+    }
+    return out;
+}
+
+std::string
+Layout::str() const
+{
+    if (coords_.empty())
+        return "(empty layout)\n";
+    std::ostringstream out;
+    int r0 = minRow(), r1 = maxRow(), c0 = minCol(), c1 = maxCol();
+    for (int r = r0; r <= r1; ++r) {
+        for (int c = c0; c <= c1; ++c) {
+            auto q = qubitAt({r, c});
+            if (q) {
+                std::string id = std::to_string(*q);
+                out << (id.size() < 2 ? " q" + id : "q" + id) << " ";
+            } else {
+                out << " .  ";
+            }
+        }
+        out << "\n";
+    }
+    return out.str();
+}
+
+} // namespace qpad::arch

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Placement of physical qubits on a 2-D lattice.
+ */
+
+#ifndef QPAD_ARCH_LAYOUT_HH
+#define QPAD_ARCH_LAYOUT_HH
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "arch/coord.hh"
+
+namespace qpad::arch
+{
+
+/**
+ * A set of occupied lattice nodes, one physical qubit per node.
+ * Physical qubit ids are dense [0, numQubits).
+ */
+class Layout
+{
+  public:
+    Layout() = default;
+
+    /** Fully occupied rows-by-cols grid (row-major qubit ids). */
+    static Layout grid(int rows, int cols);
+
+    /** Place a new qubit; fatal if the node is already occupied. */
+    PhysQubit addQubit(const Coord &c);
+
+    std::size_t numQubits() const { return coords_.size(); }
+
+    /** Coordinate of qubit q. */
+    const Coord &coord(PhysQubit q) const;
+
+    /** Qubit at a node, if any. */
+    std::optional<PhysQubit> qubitAt(const Coord &c) const;
+
+    bool occupied(const Coord &c) const { return by_coord_.count(c); }
+
+    const std::vector<Coord> &coords() const { return coords_; }
+
+    /** @name Bounding box of the occupied nodes */
+    /** @{ */
+    int minRow() const;
+    int maxRow() const;
+    int minCol() const;
+    int maxCol() const;
+    /** @} */
+
+    /** Same placement translated so the bounding box starts at 0,0. */
+    Layout normalized() const;
+
+    /**
+     * Occupied-node lattice edges: all pairs of qubits on adjacent
+     * nodes (these carry the implicit 2-qubit buses).
+     */
+    std::vector<std::pair<PhysQubit, PhysQubit>> latticeEdges() const;
+
+    /** ASCII picture of the placement (qubit ids on a grid). */
+    std::string str() const;
+
+  private:
+    std::vector<Coord> coords_;
+    std::unordered_map<Coord, PhysQubit, CoordHash> by_coord_;
+};
+
+} // namespace qpad::arch
+
+#endif // QPAD_ARCH_LAYOUT_HH

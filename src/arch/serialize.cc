@@ -1,0 +1,252 @@
+#include "arch/serialize.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace qpad::arch
+{
+
+std::string
+toJson(const Architecture &arch)
+{
+    std::ostringstream out;
+    out << std::setprecision(17);
+    out << "{\n";
+    out << "  \"name\": \"" << arch.name() << "\",\n";
+    out << "  \"qubits\": [\n";
+    for (PhysQubit q = 0; q < arch.numQubits(); ++q) {
+        const Coord &c = arch.layout().coord(q);
+        out << "    {\"id\": " << q << ", \"row\": " << c.row
+            << ", \"col\": " << c.col << "}"
+            << (q + 1 < arch.numQubits() ? ",\n" : "\n");
+    }
+    out << "  ],\n";
+    out << "  \"four_qubit_buses\": [";
+    const auto &buses = arch.fourQubitBuses();
+    for (std::size_t i = 0; i < buses.size(); ++i) {
+        out << (i ? ", " : "") << "{\"row\": " << buses[i].row
+            << ", \"col\": " << buses[i].col << "}";
+    }
+    out << "]";
+    if (arch.frequenciesAssigned()) {
+        out << ",\n  \"frequencies_ghz\": [";
+        for (PhysQubit q = 0; q < arch.numQubits(); ++q)
+            out << (q ? ", " : "") << arch.frequency(q);
+        out << "]";
+    }
+    out << "\n}\n";
+    return out.str();
+}
+
+namespace
+{
+
+/**
+ * Minimal JSON tokenizer/parser sufficient for the schema above.
+ * Not a general-purpose JSON library by design.
+ */
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text) : text_(text) {}
+
+    void
+    expect(char c)
+    {
+        skipSpace();
+        if (pos_ >= text_.size() || text_[pos_] != c)
+            qpad_fatal("arch json: expected '", std::string(1, c),
+                       "' at offset ", pos_);
+        ++pos_;
+    }
+
+    bool
+    accept(char c)
+    {
+        skipSpace();
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        while (pos_ < text_.size() && text_[pos_] != '"')
+            out += text_[pos_++];
+        expect('"');
+        return out;
+    }
+
+    double
+    parseNumber()
+    {
+        skipSpace();
+        std::size_t start = pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '-' || text_[pos_] == '+' ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E'))
+            ++pos_;
+        if (start == pos_)
+            qpad_fatal("arch json: expected number at offset ", pos_);
+        return std::stod(text_.substr(start, pos_ - start));
+    }
+
+    bool
+    atEnd()
+    {
+        skipSpace();
+        return pos_ >= text_.size();
+    }
+
+  private:
+    const std::string &text_;
+    std::size_t pos_ = 0;
+
+    void
+    skipSpace()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+};
+
+} // namespace
+
+Architecture
+fromJson(const std::string &json)
+{
+    JsonParser p(json);
+    p.expect('{');
+
+    std::string name;
+    std::vector<std::pair<int, Coord>> qubits;
+    std::vector<Coord> buses;
+    std::vector<double> freqs;
+
+    bool first = true;
+    while (!p.accept('}')) {
+        if (!first)
+            p.expect(',');
+        first = false;
+        std::string key = p.parseString();
+        p.expect(':');
+        if (key == "name") {
+            name = p.parseString();
+        } else if (key == "qubits") {
+            p.expect('[');
+            while (!p.accept(']')) {
+                if (!qubits.empty())
+                    p.expect(',');
+                p.expect('{');
+                int id = -1;
+                Coord c;
+                bool obj_first = true;
+                while (!p.accept('}')) {
+                    if (!obj_first)
+                        p.expect(',');
+                    obj_first = false;
+                    std::string field = p.parseString();
+                    p.expect(':');
+                    double v = p.parseNumber();
+                    if (field == "id")
+                        id = int(v);
+                    else if (field == "row")
+                        c.row = int(v);
+                    else if (field == "col")
+                        c.col = int(v);
+                    else
+                        qpad_fatal("arch json: unknown qubit field '",
+                                   field, "'");
+                }
+                qubits.emplace_back(id, c);
+            }
+        } else if (key == "four_qubit_buses") {
+            p.expect('[');
+            while (!p.accept(']')) {
+                if (!buses.empty())
+                    p.expect(',');
+                p.expect('{');
+                Coord c;
+                bool obj_first = true;
+                while (!p.accept('}')) {
+                    if (!obj_first)
+                        p.expect(',');
+                    obj_first = false;
+                    std::string field = p.parseString();
+                    p.expect(':');
+                    double v = p.parseNumber();
+                    if (field == "row")
+                        c.row = int(v);
+                    else if (field == "col")
+                        c.col = int(v);
+                    else
+                        qpad_fatal("arch json: unknown bus field '",
+                                   field, "'");
+                }
+                buses.push_back(c);
+            }
+        } else if (key == "frequencies_ghz") {
+            p.expect('[');
+            while (!p.accept(']')) {
+                if (!freqs.empty())
+                    p.expect(',');
+                freqs.push_back(p.parseNumber());
+            }
+        } else {
+            qpad_fatal("arch json: unknown key '", key, "'");
+        }
+    }
+
+    // Qubits must be dense 0..n-1; sort by id to rebuild the layout.
+    std::sort(qubits.begin(), qubits.end());
+    Layout layout;
+    for (std::size_t i = 0; i < qubits.size(); ++i) {
+        if (qubits[i].first != int(i))
+            qpad_fatal("arch json: qubit ids must be dense 0..n-1");
+        layout.addQubit(qubits[i].second);
+    }
+    Architecture arch(layout, name);
+    for (const Coord &b : buses)
+        arch.addFourQubitBus(b);
+    if (!freqs.empty()) {
+        if (freqs.size() != arch.numQubits())
+            qpad_fatal("arch json: frequency count mismatch");
+        arch.setAllFrequencies(freqs);
+    }
+    return arch;
+}
+
+void
+saveArchitecture(const Architecture &arch, const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        qpad_fatal("cannot write architecture file '", path, "'");
+    out << toJson(arch);
+}
+
+Architecture
+loadArchitecture(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        qpad_fatal("cannot open architecture file '", path, "'");
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return fromJson(buf.str());
+}
+
+} // namespace qpad::arch

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * JSON import/export of architectures, so generated designs can be
+ * stored, versioned and consumed by external tooling (plotters,
+ * fabrication pipelines).
+ *
+ * The format is intentionally small and self-describing:
+ * {
+ *   "name": "...",
+ *   "qubits": [{"id": 0, "row": 0, "col": 1}, ...],
+ *   "four_qubit_buses": [{"row": 0, "col": 0}, ...],
+ *   "frequencies_ghz": [5.07, ...]   // omitted when unassigned
+ * }
+ */
+
+#ifndef QPAD_ARCH_SERIALIZE_HH
+#define QPAD_ARCH_SERIALIZE_HH
+
+#include <string>
+
+#include "arch/architecture.hh"
+
+namespace qpad::arch
+{
+
+/** Serialize an architecture to a JSON string. */
+std::string toJson(const Architecture &arch);
+
+/**
+ * Parse an architecture back from toJson() output (or compatible
+ * hand-written JSON). Fatal on malformed input or constraint
+ * violations (duplicate nodes, prohibited bus placement, ...).
+ */
+Architecture fromJson(const std::string &json);
+
+/** Write / read helpers. */
+void saveArchitecture(const Architecture &arch, const std::string &path);
+Architecture loadArchitecture(const std::string &path);
+
+} // namespace qpad::arch
+
+#endif // QPAD_ARCH_SERIALIZE_HH

@@ -1,0 +1,171 @@
+#include "benchmarks/functions.hh"
+
+#include <bit>
+#include <cstdint>
+
+#include "benchmarks/pla.hh"
+
+namespace qpad::benchmarks
+{
+
+using revsynth::TruthTable;
+
+TruthTable
+adr4Table()
+{
+    // Inputs: a = bits 0..3, b = bits 4..7; output = a + b (5 bits).
+    return TruthTable::fromFunction(8, 5, [](uint64_t x) {
+        uint64_t a = x & 0xf;
+        uint64_t b = (x >> 4) & 0xf;
+        return a + b;
+    }, "adr4_197");
+}
+
+TruthTable
+rd84Table()
+{
+    // Hamming weight of the 8 inputs; bit k of the result is the
+    // elementary symmetric polynomial sigma_{2^k} mod 2 (Lucas).
+    return TruthTable::fromFunction(8, 4, [](uint64_t x) {
+        return uint64_t(std::popcount(x & 0xff));
+    }, "rd84_142");
+}
+
+TruthTable
+sym6Table()
+{
+    // Symmetric threshold band: 1 iff 2 <= weight <= 4. This choice
+    // keeps the PPRM degree at 5 so the 7-line embedding (6 inputs +
+    // 1 output, no ancilla) remains decomposable.
+    return TruthTable::fromFunction(6, 1, [](uint64_t x) {
+        int w = std::popcount(x & 0x3f);
+        return uint64_t(w >= 2 && w <= 4);
+    }, "sym6_145");
+}
+
+TruthTable
+z4Table()
+{
+    // Sum of a 2-bit, a 2-bit and a 3-bit operand (4-bit result).
+    return TruthTable::fromFunction(7, 4, [](uint64_t x) {
+        uint64_t a = x & 0x3;
+        uint64_t b = (x >> 2) & 0x3;
+        uint64_t c = (x >> 4) & 0x7;
+        return a + b + c;
+    }, "z4_268");
+}
+
+TruthTable
+squareRootTable()
+{
+    // floor(sqrt(x)) for an 8-bit x fits in 4 bits.
+    return TruthTable::fromFunction(8, 4, [](uint64_t x) {
+        uint64_t r = 0;
+        while ((r + 1) * (r + 1) <= x)
+            ++r;
+        return r;
+    }, "square_root_7");
+}
+
+TruthTable
+cm152aTable()
+{
+    // 8-to-1 multiplexer: select = bits 0..2, data = bits 3..10.
+    return TruthTable::fromFunction(11, 1, [](uint64_t x) {
+        uint64_t sel = x & 0x7;
+        return (x >> (3 + sel)) & 1;
+    }, "cm152a_212");
+}
+
+TruthTable
+dc1Table()
+{
+    // Decoder-like 4-input 7-output PLA in the spirit of the MCNC
+    // "dc1" benchmark (the original cube list is not available
+    // offline; see DESIGN.md substitutions).
+    const std::string pla =
+        ".i 4\n"
+        ".o 7\n"
+        "1-0- 1000000\n"
+        "01-1 1100000\n"
+        "-011 0110000\n"
+        "110- 0010010\n"
+        "0-10 0001000\n"
+        "1111 0001100\n"
+        "-00- 0000100\n"
+        "0110 0000011\n"
+        "10-1 0100001\n"
+        ".e\n";
+    return parsePla(pla, "dc1_220");
+}
+
+TruthTable
+misex1Table()
+{
+    // Sum-of-products with the original misex1 profile: 8 inputs,
+    // 7 outputs, a dozen moderately wide cubes sharing literals
+    // across outputs (synthetic cube list, see DESIGN.md).
+    const std::string pla =
+        ".i 8\n"
+        ".o 7\n"
+        "1-0-1--- 1000001\n"
+        "01--0-1- 1100000\n"
+        "--11-0-- 0110000\n"
+        "1-1--1-0 0011000\n"
+        "-0-01--1 0001100\n"
+        "0--1--01 0000110\n"
+        "--0-11-- 0000011\n"
+        "11---0-1 1000010\n"
+        "-01-0--0 0100100\n"
+        "0-0--11- 0010001\n"
+        "1--10--1 0001001\n"
+        "-1-0--10 0100010\n"
+        ".e\n";
+    return parsePla(pla, "misex1_241");
+}
+
+TruthTable
+hwb7Table()
+{
+    // Hidden weighted bit: rotate the input left by its weight.
+    return TruthTable::fromFunction(7, 7, [](uint64_t x) {
+        int w = std::popcount(x & 0x7f);
+        uint64_t rotated = ((x << w) | (x >> (7 - w))) & 0x7f;
+        return w == 0 || w == 7 ? x & 0x7f : rotated;
+    }, "hwb7");
+}
+
+TruthTable
+majority7Table()
+{
+    return TruthTable::fromFunction(7, 1, [](uint64_t x) {
+        return uint64_t(std::popcount(x & 0x7f) >= 4);
+    }, "majority7");
+}
+
+TruthTable
+graycode6Table()
+{
+    return TruthTable::fromFunction(6, 6, [](uint64_t x) {
+        return (x ^ (x >> 1)) & 0x3f;
+    }, "graycode6");
+}
+
+TruthTable
+mod5adderTable()
+{
+    // Operands a = bits 0..2, b = bits 3..5.
+    return TruthTable::fromFunction(6, 3, [](uint64_t x) {
+        return ((x & 0x7) + ((x >> 3) & 0x7)) % 5;
+    }, "mod5adder");
+}
+
+TruthTable
+parity8Table()
+{
+    return TruthTable::fromFunction(8, 1, [](uint64_t x) {
+        return uint64_t(std::popcount(x & 0xff) & 1);
+    }, "parity8");
+}
+
+} // namespace qpad::benchmarks

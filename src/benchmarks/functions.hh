@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Boolean specifications of the paper's RevLib-style benchmarks.
+ *
+ * The original RevLib gate-level files are not available offline;
+ * per DESIGN.md each function is rebuilt from its (documented or
+ * closest plausible) Boolean semantics and synthesized with the
+ * qpad reversible synthesizer to the paper's qubit counts.
+ */
+
+#ifndef QPAD_BENCHMARKS_FUNCTIONS_HH
+#define QPAD_BENCHMARKS_FUNCTIONS_HH
+
+#include "revsynth/truth_table.hh"
+
+namespace qpad::benchmarks
+{
+
+/** adr4: 4-bit + 4-bit adder, 5-bit result (8 in, 5 out). */
+revsynth::TruthTable adr4Table();
+
+/** rd84: Hamming weight of 8 bits, 4-bit result (8 in, 4 out). */
+revsynth::TruthTable rd84Table();
+
+/** sym6: 1 iff the weight of 6 bits is in {2,3,4} (6 in, 1 out). */
+revsynth::TruthTable sym6Table();
+
+/** z4: sum of two 2-bit and one 3-bit number (7 in, 4 out). */
+revsynth::TruthTable z4Table();
+
+/** square_root: floor(sqrt(x)) of an 8-bit input (8 in, 4 out). */
+revsynth::TruthTable squareRootTable();
+
+/** cm152a: 8-to-1 multiplexer, 3 select + 8 data (11 in, 1 out). */
+revsynth::TruthTable cm152aTable();
+
+/** dc1: 4-input 7-output PLA (decoder-like cube list). */
+revsynth::TruthTable dc1Table();
+
+/** misex1: 8-input 7-output PLA (synthetic cube list). */
+revsynth::TruthTable misex1Table();
+
+/** @name Extended suite (beyond the paper's twelve benchmarks) */
+/** @{ */
+
+/** hwb7: hidden weighted bit, x rotated by weight(x) (7 in, 7 out). */
+revsynth::TruthTable hwb7Table();
+
+/** majority7: 1 iff weight of 7 bits >= 4 (7 in, 1 out). */
+revsynth::TruthTable majority7Table();
+
+/** graycode6: x XOR (x >> 1), a purely linear function (6 in, 6 out). */
+revsynth::TruthTable graycode6Table();
+
+/** mod5adder: (a + b) mod 5 for two 3-bit operands (6 in, 3 out). */
+revsynth::TruthTable mod5adderTable();
+
+/** parity8: XOR of 8 bits (8 in, 1 out). */
+revsynth::TruthTable parity8Table();
+
+/** @} */
+
+} // namespace qpad::benchmarks
+
+#endif // QPAD_BENCHMARKS_FUNCTIONS_HH

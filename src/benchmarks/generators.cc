@@ -1,0 +1,244 @@
+#include "benchmarks/generators.hh"
+
+#include <cmath>
+
+#include "circuit/decompose.hh"
+#include "common/logging.hh"
+
+namespace qpad::benchmarks
+{
+
+using circuit::Circuit;
+using circuit::Qubit;
+
+Circuit
+qft(std::size_t n, bool measure)
+{
+    qpad_assert(n >= 1, "qft needs at least one qubit");
+    Circuit circ(n, n, "qft_" + std::to_string(n));
+    for (std::size_t i = 0; i < n; ++i) {
+        circ.h(static_cast<Qubit>(i));
+        for (std::size_t j = i + 1; j < n; ++j) {
+            double theta = M_PI / double(std::size_t{1} << (j - i));
+            circ.cp(theta, static_cast<Qubit>(j), static_cast<Qubit>(i));
+        }
+    }
+    Circuit lowered = circuit::decompose(circ);
+    if (measure) {
+        for (std::size_t i = 0; i < n; ++i)
+            lowered.measure(static_cast<Qubit>(i),
+                            static_cast<circuit::Clbit>(i));
+    }
+    return lowered;
+}
+
+Circuit
+isingModel(std::size_t n, std::size_t steps, bool measure)
+{
+    qpad_assert(n >= 2, "ising model needs at least two sites");
+    Circuit circ(n, n, "ising_model_" + std::to_string(n));
+    // Initial transverse basis preparation.
+    for (std::size_t i = 0; i < n; ++i)
+        circ.h(static_cast<Qubit>(i));
+    const double dt = 0.1;
+    for (std::size_t s = 0; s < steps; ++s) {
+        for (std::size_t i = 0; i + 1 < n; ++i)
+            circ.rzz(2.0 * dt, static_cast<Qubit>(i),
+                     static_cast<Qubit>(i + 1));
+        for (std::size_t i = 0; i < n; ++i)
+            circ.rx(2.0 * dt, static_cast<Qubit>(i));
+    }
+    Circuit lowered = circuit::decompose(circ);
+    if (measure) {
+        for (std::size_t i = 0; i < n; ++i)
+            lowered.measure(static_cast<Qubit>(i),
+                            static_cast<circuit::Clbit>(i));
+    }
+    return lowered;
+}
+
+namespace
+{
+
+/** exp(-i theta Z...Z) over a path of qubits via a CX ladder. */
+void
+pauliStringRotation(Circuit &circ, const std::vector<Qubit> &path,
+                    double theta)
+{
+    for (std::size_t i = 0; i + 1 < path.size(); ++i)
+        circ.cx(path[i], path[i + 1]);
+    circ.rz(2.0 * theta, path.back());
+    for (std::size_t i = path.size() - 1; i >= 1; --i)
+        circ.cx(path[i - 1], path[i]);
+}
+
+} // namespace
+
+Circuit
+uccsdAnsatz(std::size_t n, bool measure)
+{
+    qpad_assert(n >= 4 && n % 2 == 0,
+                "uccsd ansatz needs an even orbital count >= 4");
+    Circuit circ(n, n, "UCCSD_ansatz_" + std::to_string(n));
+    const std::size_t occ = n / 2;
+
+    // Hartree-Fock reference: occupied orbitals set to |1>.
+    for (std::size_t i = 0; i < occ; ++i)
+        circ.x(static_cast<Qubit>(i));
+
+    double theta = 0.05;
+
+    // Single excitations i -> a: Y_i Z... X_a strings, adjacent-index
+    // CX staircase between i and a.
+    for (std::size_t i = 0; i < occ; ++i) {
+        for (std::size_t a = occ; a < n; ++a) {
+            for (int term = 0; term < 2; ++term) {
+                // Basis changes: RX(pi/2) realizes Y, H realizes X.
+                if (term == 0) {
+                    circ.rx(M_PI_2, static_cast<Qubit>(i));
+                    circ.h(static_cast<Qubit>(a));
+                } else {
+                    circ.h(static_cast<Qubit>(i));
+                    circ.rx(M_PI_2, static_cast<Qubit>(a));
+                }
+                std::vector<Qubit> path;
+                for (std::size_t k = i; k <= a; ++k)
+                    path.push_back(static_cast<Qubit>(k));
+                pauliStringRotation(circ, path,
+                                    term == 0 ? theta : -theta);
+                if (term == 0) {
+                    circ.rx(-M_PI_2, static_cast<Qubit>(i));
+                    circ.h(static_cast<Qubit>(a));
+                } else {
+                    circ.h(static_cast<Qubit>(i));
+                    circ.rx(-M_PI_2, static_cast<Qubit>(a));
+                }
+                theta += 0.01;
+            }
+        }
+    }
+
+    // Double excitations (i, i+1) -> (a, a+1): ladder through the
+    // four endpoints only, giving the weak long-range couplings of
+    // Figure 5 (left).
+    for (std::size_t i = 0; i + 1 < occ; ++i) {
+        for (std::size_t a = occ; a + 1 < n; ++a) {
+            for (int term = 0; term < 2; ++term) {
+                Qubit qi = static_cast<Qubit>(i);
+                Qubit qj = static_cast<Qubit>(i + 1);
+                Qubit qa = static_cast<Qubit>(a);
+                Qubit qb = static_cast<Qubit>(a + 1);
+                if (term == 0) {
+                    circ.h(qi);
+                    circ.h(qj);
+                    circ.rx(M_PI_2, qa);
+                    circ.h(qb);
+                } else {
+                    circ.rx(M_PI_2, qi);
+                    circ.h(qj);
+                    circ.h(qa);
+                    circ.rx(M_PI_2, qb);
+                }
+                pauliStringRotation(circ, {qi, qj, qa, qb},
+                                    term == 0 ? theta : -theta);
+                if (term == 0) {
+                    circ.h(qi);
+                    circ.h(qj);
+                    circ.rx(-M_PI_2, qa);
+                    circ.h(qb);
+                } else {
+                    circ.rx(-M_PI_2, qi);
+                    circ.h(qj);
+                    circ.h(qa);
+                    circ.rx(-M_PI_2, qb);
+                }
+                theta += 0.01;
+            }
+        }
+    }
+
+    if (measure) {
+        for (std::size_t i = 0; i < n; ++i)
+            circ.measure(static_cast<Qubit>(i),
+                         static_cast<circuit::Clbit>(i));
+    }
+    return circ;
+}
+
+Circuit
+cuccaroAdder(std::size_t nbits, bool measure)
+{
+    qpad_assert(nbits >= 1, "adder needs at least one bit");
+    // Lines: 0 = carry-in, then interleaved b_i, a_i pairs; the sum
+    // replaces b. Width 2n + 1.
+    const std::size_t width = 2 * nbits + 1;
+    Circuit circ(width, width,
+                 "radd_" + std::to_string(nbits) + "b");
+
+    auto b = [&](std::size_t i) { return static_cast<Qubit>(1 + 2 * i); };
+    auto a = [&](std::size_t i) { return static_cast<Qubit>(2 + 2 * i); };
+    Qubit cin = 0;
+
+    auto maj = [&](Qubit c, Qubit s, Qubit t) {
+        circ.cx(t, s);
+        circ.cx(t, c);
+        circ.ccx(c, s, t);
+    };
+    auto uma = [&](Qubit c, Qubit s, Qubit t) {
+        circ.ccx(c, s, t);
+        circ.cx(t, c);
+        circ.cx(c, s);
+    };
+
+    maj(cin, b(0), a(0));
+    for (std::size_t i = 1; i < nbits; ++i)
+        maj(a(i - 1), b(i), a(i));
+    // Modular variant: no carry-out line; unwind immediately.
+    for (std::size_t i = nbits; i-- > 1;)
+        uma(a(i - 1), b(i), a(i));
+    uma(cin, b(0), a(0));
+
+    Circuit lowered = circuit::decompose(circ);
+    if (measure) {
+        for (std::size_t i = 0; i < nbits; ++i)
+            lowered.measure(b(i), static_cast<circuit::Clbit>(i));
+    }
+    return lowered;
+}
+
+Circuit
+ghz(std::size_t n, bool measure)
+{
+    qpad_assert(n >= 2, "ghz needs at least two qubits");
+    Circuit circ(n, n, "ghz_" + std::to_string(n));
+    circ.h(0);
+    for (std::size_t i = 0; i + 1 < n; ++i)
+        circ.cx(static_cast<Qubit>(i), static_cast<Qubit>(i + 1));
+    if (measure) {
+        for (std::size_t i = 0; i < n; ++i)
+            circ.measure(static_cast<Qubit>(i),
+                         static_cast<circuit::Clbit>(i));
+    }
+    return circ;
+}
+
+Circuit
+profilingExample()
+{
+    Circuit circ(5, 5, "fig4_example");
+    circ.h(0);
+    circ.h(4);
+    circ.cx(0, 4);
+    circ.x(2);
+    circ.cx(1, 4);
+    circ.cx(0, 1);
+    circ.h(3);
+    circ.cx(2, 4);
+    circ.cx(3, 4);
+    circ.cx(0, 4);
+    for (Qubit q = 0; q < 5; ++q)
+        circ.measure(q, q);
+    return circ;
+}
+
+} // namespace qpad::benchmarks

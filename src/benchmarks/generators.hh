@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Structural quantum-circuit generators.
+ *
+ * These produce the non-RevLib benchmarks of the paper (QFT, the
+ * Trotterized Ising model, the UCCSD VQE ansatz) plus generic
+ * building blocks (GHZ, Cuccaro ripple-carry adder) used in tests
+ * and examples. All generators emit circuits already lowered to the
+ * {1q, CX} basis.
+ */
+
+#ifndef QPAD_BENCHMARKS_GENERATORS_HH
+#define QPAD_BENCHMARKS_GENERATORS_HH
+
+#include <cstddef>
+
+#include "circuit/circuit.hh"
+
+namespace qpad::benchmarks
+{
+
+/**
+ * Quantum Fourier transform on n qubits, controlled phases lowered
+ * to two CX each, no final reversal swaps (matching the benchmark
+ * the paper uses: every qubit pair interacts exactly twice).
+ */
+circuit::Circuit qft(std::size_t n, bool measure = true);
+
+/**
+ * Trotterized 1-D transverse-field Ising model: per step, ZZ
+ * interactions along the chain (two CX each) plus RX on every site.
+ */
+circuit::Circuit isingModel(std::size_t n, std::size_t steps = 10,
+                            bool measure = true);
+
+/**
+ * UCCSD-style VQE ansatz over n spin orbitals (first n/2 occupied).
+ * Single excitations use Jordan-Wigner CX staircases over adjacent
+ * indices; double excitations ladder through the excitation's four
+ * endpoints, producing the chain-dominant + weak long-range pattern
+ * of the paper's Figure 5 (left).
+ */
+circuit::Circuit uccsdAnsatz(std::size_t n, bool measure = true);
+
+/**
+ * Cuccaro in-place ripple-carry modular adder |a,b> -> |a, a+b mod
+ * 2^n> with a carry-in line: width 2n + 1.
+ */
+circuit::Circuit cuccaroAdder(std::size_t nbits, bool measure = true);
+
+/** GHZ state preparation (H + CX fan-out chain). */
+circuit::Circuit ghz(std::size_t n, bool measure = true);
+
+/**
+ * The 5-qubit profiling example of the paper's Figure 4: two CX on
+ * (q0,q4) and one each on (q1,q4), (q2,q4), (q3,q4), (q0,q1), with
+ * assorted single-qubit gates and final measurement.
+ */
+circuit::Circuit profilingExample();
+
+} // namespace qpad::benchmarks
+
+#endif // QPAD_BENCHMARKS_GENERATORS_HH

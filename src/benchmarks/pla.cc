@@ -1,0 +1,87 @@
+#include "benchmarks/pla.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace qpad::benchmarks
+{
+
+using revsynth::TruthTable;
+
+TruthTable
+tableFromPla(unsigned num_inputs, unsigned num_outputs,
+             const std::vector<PlaCube> &cubes, std::string name)
+{
+    TruthTable tt(num_inputs, num_outputs, std::move(name));
+    const uint64_t rows = uint64_t{1} << num_inputs;
+    for (uint64_t x = 0; x < rows; ++x) {
+        uint64_t out = 0;
+        for (const PlaCube &cube : cubes)
+            if ((x & cube.care) == (cube.value & cube.care))
+                out |= cube.output_mask;
+        tt.setRow(x, out);
+    }
+    return tt;
+}
+
+TruthTable
+parsePla(const std::string &text, std::string name)
+{
+    std::istringstream in(text);
+    std::string line;
+    unsigned ni = 0, no = 0;
+    std::vector<PlaCube> cubes;
+
+    while (std::getline(in, line)) {
+        // Strip comments and whitespace.
+        auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line = line.substr(0, hash);
+        std::istringstream ls(line);
+        std::string first;
+        if (!(ls >> first))
+            continue;
+        if (first == ".i") {
+            ls >> ni;
+        } else if (first == ".o") {
+            ls >> no;
+        } else if (first == ".p" || first == ".ilb" || first == ".ob" ||
+                   first == ".type") {
+            continue; // cube count / labels: informational
+        } else if (first == ".e" || first == ".end") {
+            break;
+        } else {
+            // A cube line: "<inputs> <outputs>".
+            std::string outs;
+            if (!(ls >> outs))
+                qpad_fatal("pla: cube line missing outputs: '", line, "'");
+            if (first.size() != ni || outs.size() != no)
+                qpad_fatal("pla: cube width mismatch in '", line, "'");
+            PlaCube cube;
+            for (unsigned i = 0; i < ni; ++i) {
+                char c = first[i];
+                if (c == '-')
+                    continue;
+                cube.care |= uint64_t{1} << i;
+                if (c == '1')
+                    cube.value |= uint64_t{1} << i;
+                else if (c != '0')
+                    qpad_fatal("pla: bad input literal '", c, "'");
+            }
+            for (unsigned j = 0; j < no; ++j) {
+                char c = outs[j];
+                if (c == '1')
+                    cube.output_mask |= uint64_t{1} << j;
+                else if (c != '0' && c != '-' && c != '~')
+                    qpad_fatal("pla: bad output literal '", c, "'");
+            }
+            cubes.push_back(cube);
+        }
+    }
+    if (ni == 0 || no == 0)
+        qpad_fatal("pla: missing .i/.o header");
+    return tableFromPla(ni, no, cubes, std::move(name));
+}
+
+} // namespace qpad::benchmarks

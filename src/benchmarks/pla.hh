@@ -1,0 +1,50 @@
+/**
+ * @file
+ * PLA-style (cube list) specification of multi-output functions.
+ *
+ * Several of the paper's benchmarks originate from classical MCNC
+ * PLA files (misex1, cm152a, dc1). A PLA is a sum-of-products: each
+ * cube constrains some inputs to 0/1 (others are don't-cares) and
+ * raises a subset of the outputs. This header turns a cube list into
+ * a dense TruthTable for the reversible synthesizer.
+ */
+
+#ifndef QPAD_BENCHMARKS_PLA_HH
+#define QPAD_BENCHMARKS_PLA_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "revsynth/truth_table.hh"
+
+namespace qpad::benchmarks
+{
+
+/**
+ * One product term: input bits where (care >> i) & 1 must equal
+ * (value >> i) & 1; all outputs in output_mask become 1 when the
+ * cube fires (OR semantics across cubes).
+ */
+struct PlaCube
+{
+    uint64_t care = 0;
+    uint64_t value = 0;
+    uint64_t output_mask = 0;
+};
+
+/** Materialize a cube list into a truth table. */
+revsynth::TruthTable tableFromPla(unsigned num_inputs,
+                                  unsigned num_outputs,
+                                  const std::vector<PlaCube> &cubes,
+                                  std::string name);
+
+/**
+ * Parse a (subset of the) Espresso .pla format: .i/.o/.p headers,
+ * cube lines with 0/1/- inputs and 0/1 outputs, .e terminator.
+ */
+revsynth::TruthTable parsePla(const std::string &text, std::string name);
+
+} // namespace qpad::benchmarks
+
+#endif // QPAD_BENCHMARKS_PLA_HH

@@ -1,0 +1,114 @@
+#include "benchmarks/suite.hh"
+
+#include "benchmarks/functions.hh"
+#include "benchmarks/generators.hh"
+#include "common/logging.hh"
+#include "revsynth/synth.hh"
+
+namespace qpad::benchmarks
+{
+
+using circuit::Circuit;
+
+namespace
+{
+
+Circuit
+synthNamed(const revsynth::TruthTable &table, std::size_t width)
+{
+    revsynth::SynthOptions opts;
+    opts.total_qubits = width;
+    return revsynth::synthesize(table, opts).circuit;
+}
+
+std::vector<BenchmarkInfo>
+buildSuite()
+{
+    std::vector<BenchmarkInfo> suite;
+
+    suite.push_back({"qft_16", 16, "transform",
+                     [] { return qft(16); }});
+    suite.push_back({"ising_model_16", 16, "simulation",
+                     [] { return isingModel(16, 10); }});
+    suite.push_back({"UCCSD_ansatz_8", 8, "simulation",
+                     [] { return uccsdAnsatz(8); }});
+    suite.push_back({"sym6_145", 7, "logic",
+                     [] { return synthNamed(sym6Table(), 7); }});
+    suite.push_back({"dc1_220", 11, "logic",
+                     [] { return synthNamed(dc1Table(), 11); }});
+    suite.push_back({"z4_268", 11, "arithmetic",
+                     [] { return synthNamed(z4Table(), 11); }});
+    suite.push_back({"cm152a_212", 12, "logic",
+                     [] { return synthNamed(cm152aTable(), 12); }});
+    suite.push_back({"adr4_197", 13, "arithmetic",
+                     [] { return synthNamed(adr4Table(), 13); }});
+    suite.push_back({"radd_250", 13, "arithmetic",
+                     [] { return cuccaroAdder(6); }});
+    suite.push_back({"rd84_142", 15, "arithmetic",
+                     [] { return synthNamed(rd84Table(), 15); }});
+    suite.push_back({"misex1_241", 15, "logic",
+                     [] { return synthNamed(misex1Table(), 15); }});
+    suite.push_back({"square_root_7", 15, "arithmetic",
+                     [] { return synthNamed(squareRootTable(), 15); }});
+
+    return suite;
+}
+
+} // namespace
+
+const std::vector<BenchmarkInfo> &
+paperSuite()
+{
+    static const std::vector<BenchmarkInfo> suite = buildSuite();
+    return suite;
+}
+
+const std::vector<BenchmarkInfo> &
+extendedSuite()
+{
+    static const std::vector<BenchmarkInfo> suite = [] {
+        std::vector<BenchmarkInfo> out;
+        out.push_back({"hwb7", 15, "logic",
+                       [] { return synthNamed(hwb7Table(), 15); }});
+        out.push_back({"majority7", 8, "logic",
+                       [] { return synthNamed(majority7Table(), 8); }});
+        out.push_back({"graycode6", 12, "logic",
+                       [] { return synthNamed(graycode6Table(), 12); }});
+        out.push_back({"mod5adder", 10, "arithmetic",
+                       [] { return synthNamed(mod5adderTable(), 10); }});
+        out.push_back({"parity8", 9, "logic",
+                       [] { return synthNamed(parity8Table(), 9); }});
+        out.push_back({"ghz_12", 12, "state-prep",
+                       [] { return ghz(12); }});
+        out.push_back({"qft_8", 8, "transform",
+                       [] { return qft(8); }});
+        return out;
+    }();
+    return suite;
+}
+
+const BenchmarkInfo &
+getBenchmark(const std::string &name)
+{
+    for (const auto &b : paperSuite())
+        if (b.name == name)
+            return b;
+    for (const auto &b : extendedSuite())
+        if (b.name == name)
+            return b;
+    qpad_fatal("unknown benchmark '", name, "'");
+}
+
+bool
+hasBenchmark(const std::string &name)
+{
+    for (const auto &b : paperSuite())
+        if (b.name == name)
+            return true;
+    for (const auto &b : extendedSuite())
+        if (b.name == name)
+            return true;
+    return false;
+}
+
+} // namespace qpad::benchmarks

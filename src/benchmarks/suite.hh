@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Registry of the twelve benchmark programs evaluated in the paper
+ * (Section 5.1), with the paper's qubit counts.
+ */
+
+#ifndef QPAD_BENCHMARKS_SUITE_HH
+#define QPAD_BENCHMARKS_SUITE_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "circuit/circuit.hh"
+
+namespace qpad::benchmarks
+{
+
+/** One catalogued benchmark. */
+struct BenchmarkInfo
+{
+    std::string name;       ///< paper name, e.g. "misex1_241"
+    std::size_t num_qubits; ///< paper-reported width
+    std::string domain;     ///< e.g. "arithmetic", "simulation"
+    std::function<circuit::Circuit()> generate;
+};
+
+/** All twelve paper benchmarks, in the order of Figure 10. */
+const std::vector<BenchmarkInfo> &paperSuite();
+
+/** Look up one benchmark by name; fatal if unknown. */
+const BenchmarkInfo &getBenchmark(const std::string &name);
+
+/** True if a benchmark of that name exists. */
+bool hasBenchmark(const std::string &name);
+
+/**
+ * Extended catalogue beyond the paper's twelve programs (classic
+ * reversible-logic functions), for wider library coverage.
+ */
+const std::vector<BenchmarkInfo> &extendedSuite();
+
+} // namespace qpad::benchmarks
+
+#endif // QPAD_BENCHMARKS_SUITE_HH

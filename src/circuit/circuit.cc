@@ -1,0 +1,152 @@
+#include "circuit/circuit.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace qpad::circuit
+{
+
+Circuit::Circuit(std::size_t num_qubits, std::size_t num_clbits,
+                 std::string name)
+    : name_(std::move(name)), num_qubits_(num_qubits),
+      num_clbits_(num_clbits)
+{
+}
+
+void
+Circuit::add(Gate gate)
+{
+    for (Qubit q : gate.qubits) {
+        qpad_assert(q < num_qubits_, "gate ", gate.str(),
+                    " touches qubit ", q, " outside circuit width ",
+                    num_qubits_);
+    }
+    if (gate.kind == GateKind::Measure) {
+        qpad_assert(gate.clbit < num_clbits_, "measure into clbit ",
+                    gate.clbit, " outside ", num_clbits_);
+    }
+    if (gate.qubits.size() >= 2) {
+        for (size_t i = 0; i < gate.qubits.size(); ++i)
+            for (size_t j = i + 1; j < gate.qubits.size(); ++j)
+                qpad_assert(gate.qubits[i] != gate.qubits[j],
+                            "duplicate qubit operand in ", gate.str());
+    }
+    gates_.push_back(std::move(gate));
+}
+
+void
+Circuit::measure(Qubit q, Clbit c)
+{
+    Gate g(GateKind::Measure, {q});
+    g.clbit = c;
+    add(std::move(g));
+}
+
+void
+Circuit::barrier()
+{
+    Gate g;
+    g.kind = GateKind::Barrier;
+    g.qubits.clear();
+    gates_.push_back(std::move(g));
+}
+
+void
+Circuit::append(const Circuit &other)
+{
+    qpad_assert(other.numQubits() <= num_qubits_,
+                "appending wider circuit (", other.numQubits(), " > ",
+                num_qubits_, ")");
+    for (const auto &g : other.gates())
+        add(g);
+}
+
+void
+Circuit::appendMapped(const Circuit &other,
+                      const std::vector<Qubit> &layout)
+{
+    qpad_assert(layout.size() >= other.numQubits(),
+                "layout smaller than appended circuit");
+    for (const auto &g : other.gates()) {
+        Gate mapped = g;
+        for (auto &q : mapped.qubits)
+            q = layout[q];
+        add(std::move(mapped));
+    }
+}
+
+std::size_t
+Circuit::twoQubitGateCount() const
+{
+    return std::count_if(gates_.begin(), gates_.end(),
+                         [](const Gate &g) { return g.isTwoQubit(); });
+}
+
+std::size_t
+Circuit::singleQubitGateCount() const
+{
+    return std::count_if(gates_.begin(), gates_.end(),
+                         [](const Gate &g) { return g.isSingleQubit(); });
+}
+
+std::size_t
+Circuit::unitaryGateCount() const
+{
+    return std::count_if(gates_.begin(), gates_.end(), [](const Gate &g) {
+        return !g.isNonUnitary();
+    });
+}
+
+std::map<std::string, std::size_t>
+Circuit::countByKind() const
+{
+    std::map<std::string, std::size_t> counts;
+    for (const auto &g : gates_)
+        ++counts[gateKindName(g.kind)];
+    return counts;
+}
+
+std::size_t
+Circuit::depth() const
+{
+    std::vector<std::size_t> ready(num_qubits_, 0);
+    std::size_t depth = 0;
+    for (const auto &g : gates_) {
+        if (g.kind == GateKind::Barrier) {
+            // A barrier synchronizes every qubit without occupying a
+            // time step of its own.
+            std::size_t level = 0;
+            for (auto r : ready)
+                level = std::max(level, r);
+            std::fill(ready.begin(), ready.end(), level);
+            continue;
+        }
+        std::size_t start = 0;
+        for (Qubit q : g.qubits)
+            start = std::max(start, ready[q]);
+        for (Qubit q : g.qubits)
+            ready[q] = start + 1;
+        depth = std::max(depth, start + 1);
+    }
+    return depth;
+}
+
+std::size_t
+Circuit::activeWidth() const
+{
+    std::size_t width = 0;
+    for (const auto &g : gates_)
+        for (Qubit q : g.qubits)
+            width = std::max<std::size_t>(width, q + 1);
+    return width;
+}
+
+bool
+Circuit::operator==(const Circuit &other) const
+{
+    return num_qubits_ == other.num_qubits_ &&
+           num_clbits_ == other.num_clbits_ && gates_ == other.gates_;
+}
+
+} // namespace qpad::circuit

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Quantum circuit container and statistics.
+ */
+
+#ifndef QPAD_CIRCUIT_CIRCUIT_HH
+#define QPAD_CIRCUIT_CIRCUIT_HH
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "circuit/gate.hh"
+
+namespace qpad::circuit
+{
+
+/**
+ * An ordered list of operations over a fixed set of logical qubits
+ * and classical bits. This is the unit the profiler, the mapper and
+ * the benchmark generators all exchange.
+ */
+class Circuit
+{
+  public:
+    Circuit() = default;
+
+    /** Create an empty circuit over n qubits and n_clbits bits. */
+    explicit Circuit(std::size_t num_qubits, std::size_t num_clbits = 0,
+                     std::string name = "");
+
+    /** @name Structure */
+    /** @{ */
+    const std::string &name() const { return name_; }
+    void setName(std::string name) { name_ = std::move(name); }
+    std::size_t numQubits() const { return num_qubits_; }
+    std::size_t numClbits() const { return num_clbits_; }
+    std::size_t size() const { return gates_.size(); }
+    bool empty() const { return gates_.empty(); }
+    const std::vector<Gate> &gates() const { return gates_; }
+    const Gate &gate(std::size_t i) const { return gates_[i]; }
+    /** @} */
+
+    /** Append a fully built gate (bounds-checked). */
+    void add(Gate gate);
+
+    /** @name Convenience builders for common gates */
+    /** @{ */
+    void i(Qubit q) { add({GateKind::I, {q}}); }
+    void x(Qubit q) { add({GateKind::X, {q}}); }
+    void y(Qubit q) { add({GateKind::Y, {q}}); }
+    void z(Qubit q) { add({GateKind::Z, {q}}); }
+    void h(Qubit q) { add({GateKind::H, {q}}); }
+    void s(Qubit q) { add({GateKind::S, {q}}); }
+    void sdg(Qubit q) { add({GateKind::Sdg, {q}}); }
+    void t(Qubit q) { add({GateKind::T, {q}}); }
+    void tdg(Qubit q) { add({GateKind::Tdg, {q}}); }
+    void rx(double theta, Qubit q) { add({GateKind::RX, {q}, {theta}}); }
+    void ry(double theta, Qubit q) { add({GateKind::RY, {q}, {theta}}); }
+    void rz(double theta, Qubit q) { add({GateKind::RZ, {q}, {theta}}); }
+    void p(double theta, Qubit q) { add({GateKind::P, {q}, {theta}}); }
+    void cx(Qubit c, Qubit t) { add({GateKind::CX, {c, t}}); }
+    void cz(Qubit a, Qubit b) { add({GateKind::CZ, {a, b}}); }
+    void cp(double theta, Qubit c, Qubit t)
+    {
+        add({GateKind::CP, {c, t}, {theta}});
+    }
+    void swap(Qubit a, Qubit b) { add({GateKind::SWAP, {a, b}}); }
+    void rzz(double theta, Qubit a, Qubit b)
+    {
+        add({GateKind::RZZ, {a, b}, {theta}});
+    }
+    void ccx(Qubit a, Qubit b, Qubit t) { add({GateKind::CCX, {a, b, t}}); }
+    void measure(Qubit q, Clbit c);
+    void barrier();
+    /** @} */
+
+    /** Append all gates of another circuit (same width required). */
+    void append(const Circuit &other);
+
+    /**
+     * Append another circuit with its qubit i mapped to layout[i]
+     * of this circuit (used to embed synthesized sub-blocks).
+     */
+    void appendMapped(const Circuit &other,
+                      const std::vector<Qubit> &layout);
+
+    /** @name Statistics */
+    /** @{ */
+    /** Number of unitary two-qubit gates. */
+    std::size_t twoQubitGateCount() const;
+    /** Number of unitary single-qubit gates. */
+    std::size_t singleQubitGateCount() const;
+    /** Unitary gates only (excludes measure/reset/barrier). */
+    std::size_t unitaryGateCount() const;
+    /** Histogram of gate kinds by mnemonic. */
+    std::map<std::string, std::size_t> countByKind() const;
+    /** Circuit depth counting every unitary gate as one time step. */
+    std::size_t depth() const;
+    /** Highest qubit index actually used, plus one (0 if empty). */
+    std::size_t activeWidth() const;
+    /** @} */
+
+    bool operator==(const Circuit &other) const;
+
+  private:
+    std::string name_;
+    std::size_t num_qubits_ = 0;
+    std::size_t num_clbits_ = 0;
+    std::vector<Gate> gates_;
+};
+
+} // namespace qpad::circuit
+
+#endif // QPAD_CIRCUIT_CIRCUIT_HH

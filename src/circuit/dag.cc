@@ -1,0 +1,84 @@
+#include "circuit/dag.hh"
+
+#include <algorithm>
+#include <queue>
+
+namespace qpad::circuit
+{
+
+DependencyDag::DependencyDag(const Circuit &circuit)
+    : succs_(circuit.size()), indeg_(circuit.size(), 0)
+{
+    // last_writer[q] = id of the latest gate touching qubit q.
+    constexpr std::size_t none = static_cast<std::size_t>(-1);
+    std::vector<std::size_t> last(circuit.numQubits(), none);
+
+    auto link = [this](std::size_t from, std::size_t to) {
+        succs_[from].push_back(to);
+        ++indeg_[to];
+    };
+
+    for (std::size_t id = 0; id < circuit.size(); ++id) {
+        const Gate &g = circuit.gate(id);
+        if (g.kind == GateKind::Barrier) {
+            // Depend on every live chain and restart all of them.
+            for (auto &l : last) {
+                if (l != none)
+                    link(l, id);
+                l = id;
+            }
+            continue;
+        }
+        for (Qubit q : g.qubits) {
+            if (last[q] != none)
+                link(last[q], id);
+            last[q] = id;
+        }
+    }
+
+    // Deduplicate edges from gates sharing both qubits with their
+    // successor (e.g. back-to-back CX on the same pair).
+    for (auto &s : succs_) {
+        std::sort(s.begin(), s.end());
+        auto last_unique = std::unique(s.begin(), s.end());
+        for (auto it = last_unique; it != s.end(); ++it)
+            --indeg_[*it];
+        s.erase(last_unique, s.end());
+    }
+}
+
+std::vector<std::size_t>
+DependencyDag::roots() const
+{
+    std::vector<std::size_t> out;
+    for (std::size_t id = 0; id < indeg_.size(); ++id)
+        if (indeg_[id] == 0)
+            out.push_back(id);
+    return out;
+}
+
+std::size_t
+DependencyDag::asapDepth() const
+{
+    std::vector<std::size_t> indeg = indeg_;
+    std::vector<std::size_t> level(numGates(), 0);
+    std::queue<std::size_t> ready;
+    for (std::size_t id = 0; id < numGates(); ++id)
+        if (indeg[id] == 0)
+            ready.push(id);
+
+    std::size_t depth = 0;
+    while (!ready.empty()) {
+        std::size_t id = ready.front();
+        ready.pop();
+        depth = std::max(depth, level[id] + 1);
+        for (std::size_t succ : succs_[id]) {
+            level[succ] = std::max(level[succ], level[id] + 1);
+            if (--indeg[succ] == 0)
+                ready.push(succ);
+        }
+    }
+    return depth;
+}
+
+} // namespace qpad::circuit

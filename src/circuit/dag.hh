@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Gate dependency DAG used by the mapper and for depth analyses.
+ *
+ * Two gates depend on each other iff they share a qubit; the DAG
+ * keeps, for every gate, the immediate successors over each shared
+ * qubit. Barriers synchronize all qubits.
+ */
+
+#ifndef QPAD_CIRCUIT_DAG_HH
+#define QPAD_CIRCUIT_DAG_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "circuit/circuit.hh"
+
+namespace qpad::circuit
+{
+
+/**
+ * Immutable dependency DAG over the gates of a circuit. Gate ids are
+ * indices into Circuit::gates().
+ */
+class DependencyDag
+{
+  public:
+    explicit DependencyDag(const Circuit &circuit);
+
+    std::size_t numGates() const { return succs_.size(); }
+
+    /** Immediate successors of gate id. */
+    const std::vector<std::size_t> &successors(std::size_t id) const
+    {
+        return succs_[id];
+    }
+
+    /** Number of immediate predecessors of gate id. */
+    std::size_t indegree(std::size_t id) const { return indeg_[id]; }
+
+    /** Copy of the indegree vector (consumed by traversals). */
+    std::vector<std::size_t> indegrees() const { return indeg_; }
+
+    /** Gate ids with no predecessors (the initial front layer). */
+    std::vector<std::size_t> roots() const;
+
+    /** Number of "layers" in an ASAP schedule of the DAG. */
+    std::size_t asapDepth() const;
+
+  private:
+    std::vector<std::vector<std::size_t>> succs_;
+    std::vector<std::size_t> indeg_;
+};
+
+} // namespace qpad::circuit
+
+#endif // QPAD_CIRCUIT_DAG_HH

@@ -1,0 +1,110 @@
+#include "circuit/decompose.hh"
+
+#include "common/logging.hh"
+
+namespace qpad::circuit
+{
+
+bool
+isInBasis(const Circuit &circuit)
+{
+    for (const auto &g : circuit.gates()) {
+        if (g.isNonUnitary() || g.isSingleQubit())
+            continue;
+        if (g.kind != GateKind::CX)
+            return false;
+    }
+    return true;
+}
+
+void
+decomposeGateInto(const Gate &gate, Circuit &out)
+{
+    switch (gate.kind) {
+      case GateKind::CZ: {
+        Qubit c = gate.qubits[0], t = gate.qubits[1];
+        out.h(t);
+        out.cx(c, t);
+        out.h(t);
+        return;
+      }
+      case GateKind::CP: {
+        // Controlled phase: two CX plus three RZ-like rotations.
+        Qubit c = gate.qubits[0], t = gate.qubits[1];
+        double theta = gate.params[0];
+        out.rz(theta / 2, c);
+        out.cx(c, t);
+        out.rz(-theta / 2, t);
+        out.cx(c, t);
+        out.rz(theta / 2, t);
+        return;
+      }
+      case GateKind::CRZ: {
+        Qubit c = gate.qubits[0], t = gate.qubits[1];
+        double theta = gate.params[0];
+        out.rz(theta / 2, t);
+        out.cx(c, t);
+        out.rz(-theta / 2, t);
+        out.cx(c, t);
+        return;
+      }
+      case GateKind::RZZ: {
+        Qubit a = gate.qubits[0], b = gate.qubits[1];
+        out.cx(a, b);
+        out.rz(gate.params[0], b);
+        out.cx(a, b);
+        return;
+      }
+      case GateKind::SWAP: {
+        Qubit a = gate.qubits[0], b = gate.qubits[1];
+        out.cx(a, b);
+        out.cx(b, a);
+        out.cx(a, b);
+        return;
+      }
+      case GateKind::CCX: {
+        // Standard 6-CX Toffoli network (Nielsen & Chuang Fig. 4.9).
+        Qubit a = gate.qubits[0], b = gate.qubits[1], t = gate.qubits[2];
+        out.h(t);
+        out.cx(b, t);
+        out.tdg(t);
+        out.cx(a, t);
+        out.t(t);
+        out.cx(b, t);
+        out.tdg(t);
+        out.cx(a, t);
+        out.t(b);
+        out.t(t);
+        out.h(t);
+        out.cx(a, b);
+        out.t(a);
+        out.tdg(b);
+        out.cx(a, b);
+        return;
+      }
+      case GateKind::CSWAP: {
+        Qubit c = gate.qubits[0], a = gate.qubits[1], b = gate.qubits[2];
+        out.cx(b, a);
+        decomposeGateInto(Gate(GateKind::CCX, {c, a, b}), out);
+        out.cx(b, a);
+        return;
+      }
+      default:
+        // Already basis / non-unitary: copy through.
+        out.add(gate);
+        return;
+    }
+}
+
+Circuit
+decompose(const Circuit &circuit)
+{
+    Circuit out(circuit.numQubits(), circuit.numClbits(),
+                circuit.name());
+    for (const auto &g : circuit.gates())
+        decomposeGateInto(g, out);
+    qpad_assert(isInBasis(out), "decompose() left composite gates");
+    return out;
+}
+
+} // namespace qpad::circuit

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Lowering of composite gates into the {single-qubit, CX} basis.
+ *
+ * The paper assumes every circuit is already decomposed into
+ * single-qubit gates plus CNOT (the IBM native set); generators in
+ * qpad may emit CZ/CP/SWAP/CCX for clarity and lower them with this
+ * pass before profiling or mapping.
+ */
+
+#ifndef QPAD_CIRCUIT_DECOMPOSE_HH
+#define QPAD_CIRCUIT_DECOMPOSE_HH
+
+#include "circuit/circuit.hh"
+
+namespace qpad::circuit
+{
+
+/** True if the circuit only contains 1q gates, CX and non-unitaries. */
+bool isInBasis(const Circuit &circuit);
+
+/**
+ * Return an equivalent circuit in the {1q, CX} basis.
+ *
+ * Standard textbook identities are used: CZ via two Hadamards,
+ * CP/CRZ/RZZ via two CXs and RZ rotations, SWAP via three CXs, CCX
+ * via the 6-CX T-gate network, CSWAP via CCX conjugated with CXs.
+ */
+Circuit decompose(const Circuit &circuit);
+
+/** Append the decomposition of one gate to an output circuit. */
+void decomposeGateInto(const Gate &gate, Circuit &out);
+
+} // namespace qpad::circuit
+
+#endif // QPAD_CIRCUIT_DECOMPOSE_HH

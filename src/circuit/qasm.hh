@@ -1,0 +1,46 @@
+/**
+ * @file
+ * OpenQASM 2.0 subset reader and writer.
+ *
+ * The reader supports the language subset used by the RevLib /
+ * QISKit benchmark files the paper evaluates: version header,
+ * include directives (ignored), qreg/creg declarations, the qelib1
+ * gate set, user `gate` definitions (expanded inline), parameter
+ * expressions with pi and arithmetic, register broadcast, measure
+ * and barrier. Classical control (`if`) is rejected with a clear
+ * error since the paper's circuits are purely unitary + measure.
+ */
+
+#ifndef QPAD_CIRCUIT_QASM_HH
+#define QPAD_CIRCUIT_QASM_HH
+
+#include <string>
+
+#include "circuit/circuit.hh"
+
+namespace qpad::circuit
+{
+
+/**
+ * Parse OpenQASM 2.0 source into a Circuit. All quantum registers
+ * are flattened into one qubit index space in declaration order
+ * (likewise for classical registers).
+ *
+ * @param source OpenQASM program text.
+ * @param name   Name recorded on the resulting circuit.
+ * @throws std::runtime_error (via qpad_fatal) on malformed input.
+ */
+Circuit parseQasm(const std::string &source, const std::string &name = "");
+
+/** Parse an OpenQASM 2.0 file from disk. */
+Circuit parseQasmFile(const std::string &path);
+
+/** Serialize a circuit as an OpenQASM 2.0 program. */
+std::string toQasm(const Circuit &circuit);
+
+/** Write a circuit to a .qasm file. */
+void writeQasmFile(const Circuit &circuit, const std::string &path);
+
+} // namespace qpad::circuit
+
+#endif // QPAD_CIRCUIT_QASM_HH

@@ -1,0 +1,61 @@
+#include "common/logging.hh"
+
+#include <atomic>
+#include <stdexcept>
+
+namespace qpad
+{
+namespace detail
+{
+
+namespace
+{
+std::atomic<bool> quiet_flag{false};
+} // namespace
+
+void
+setQuiet(bool quiet)
+{
+    quiet_flag.store(quiet);
+}
+
+bool
+isQuiet()
+{
+    return quiet_flag.load();
+}
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::cerr << "panic: " << msg << " @ " << file << ":" << line
+              << std::endl;
+    // Throwing (instead of abort()) keeps panics testable; the type is
+    // logic_error because a panic always indicates a qpad bug.
+    throw std::logic_error("panic: " + msg);
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::cerr << "fatal: " << msg << " @ " << file << ":" << line
+              << std::endl;
+    throw std::runtime_error("fatal: " + msg);
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    if (!isQuiet())
+        std::cerr << "warn: " << msg << std::endl;
+}
+
+void
+informImpl(const std::string &msg)
+{
+    if (!isQuiet())
+        std::cerr << "info: " << msg << std::endl;
+}
+
+} // namespace detail
+} // namespace qpad

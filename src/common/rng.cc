@@ -1,0 +1,116 @@
+#include "common/rng.hh"
+
+#include "common/logging.hh"
+
+namespace qpad
+{
+
+uint64_t
+Rng::splitMix64(uint64_t &state)
+{
+    uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+Rng::rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+Rng::Rng(uint64_t seed)
+    : cached_gauss_(0.0), has_cached_gauss_(false)
+{
+    uint64_t sm = seed;
+    for (auto &s : s_)
+        s = splitMix64(sm);
+}
+
+uint64_t
+Rng::next()
+{
+    const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53 mantissa bits -> uniform in [0, 1).
+    return (next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+uint64_t
+Rng::below(uint64_t n)
+{
+    qpad_assert(n > 0, "Rng::below(0)");
+    // Rejection sampling to avoid modulo bias.
+    const uint64_t threshold = (0 - n) % n;
+    for (;;) {
+        uint64_t r = next();
+        if (r >= threshold)
+            return r % n;
+    }
+}
+
+int64_t
+Rng::range(int64_t lo, int64_t hi)
+{
+    qpad_assert(lo <= hi, "Rng::range with lo > hi");
+    return lo + static_cast<int64_t>(
+        below(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+double
+Rng::gaussian()
+{
+    if (has_cached_gauss_) {
+        has_cached_gauss_ = false;
+        return cached_gauss_;
+    }
+    // Box-Muller transform; u1 in (0, 1] so log() is finite.
+    double u1 = 1.0 - uniform();
+    double u2 = uniform();
+    double r = std::sqrt(-2.0 * std::log(u1));
+    double theta = 2.0 * M_PI * u2;
+    cached_gauss_ = r * std::sin(theta);
+    has_cached_gauss_ = true;
+    return r * std::cos(theta);
+}
+
+double
+Rng::gaussian(double mean, double stddev)
+{
+    return mean + stddev * gaussian();
+}
+
+bool
+Rng::chance(double p)
+{
+    return uniform() < p;
+}
+
+Rng
+Rng::split()
+{
+    return Rng(next() ^ 0xd2b74407b1ce6e93ull);
+}
+
+} // namespace qpad

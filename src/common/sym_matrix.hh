@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Dense symmetric matrix with packed triangular storage.
+ *
+ * Used for coupling strength matrices (qubit-pair gate counts) and
+ * all-pairs distance tables. Only the upper triangle (including the
+ * diagonal) is stored; (i, j) and (j, i) alias the same element.
+ */
+
+#ifndef QPAD_COMMON_SYM_MATRIX_HH
+#define QPAD_COMMON_SYM_MATRIX_HH
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace qpad
+{
+
+/**
+ * Symmetric n-by-n matrix of T with O(n^2 / 2) storage.
+ */
+template <typename T>
+class SymMatrix
+{
+  public:
+    SymMatrix() : n_(0) {}
+
+    /** n-by-n matrix, all elements initialized to fill. */
+    explicit SymMatrix(std::size_t n, T fill = T{})
+        : n_(n), data_(n * (n + 1) / 2, fill)
+    {}
+
+    /** Matrix dimension. */
+    std::size_t size() const { return n_; }
+
+    /** Element access; (i, j) and (j, i) are the same element. */
+    T &
+    at(std::size_t i, std::size_t j)
+    {
+        return data_[index(i, j)];
+    }
+
+    const T &
+    at(std::size_t i, std::size_t j) const
+    {
+        return data_[index(i, j)];
+    }
+
+    T operator()(std::size_t i, std::size_t j) const { return at(i, j); }
+
+    /** Sum of row i over all columns (diagonal included once). */
+    T
+    rowSum(std::size_t i) const
+    {
+        T sum{};
+        for (std::size_t j = 0; j < n_; ++j)
+            sum += at(i, j);
+        return sum;
+    }
+
+    /** Sum over the strict upper triangle (each pair counted once). */
+    T
+    offDiagonalSum() const
+    {
+        T sum{};
+        for (std::size_t i = 0; i < n_; ++i)
+            for (std::size_t j = i + 1; j < n_; ++j)
+                sum += at(i, j);
+        return sum;
+    }
+
+    bool
+    operator==(const SymMatrix &other) const
+    {
+        return n_ == other.n_ && data_ == other.data_;
+    }
+
+  private:
+    std::size_t n_;
+    std::vector<T> data_;
+
+    std::size_t
+    index(std::size_t i, std::size_t j) const
+    {
+        qpad_assert(i < n_ && j < n_,
+                    "SymMatrix index (", i, ",", j, ") out of range ", n_);
+        if (i > j)
+            std::swap(i, j);
+        // Row-major packed upper triangle.
+        return i * n_ - i * (i + 1) / 2 + j;
+    }
+};
+
+} // namespace qpad
+
+#endif // QPAD_COMMON_SYM_MATRIX_HH

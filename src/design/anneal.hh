@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Simulated-annealing layout refinement.
+ *
+ * The paper claims its greedy placement heuristic finds
+ * "near-optimal" solutions in the reduced search space (Section 1).
+ * This module provides the instrument to check that claim: an
+ * annealer over qubit placements minimizing the same
+ * strength-times-distance functional, usable either as a verifier
+ * (how far is Algorithm 1 from a long anneal?) or as an optional
+ * refinement stage of the flow.
+ */
+
+#ifndef QPAD_DESIGN_ANNEAL_HH
+#define QPAD_DESIGN_ANNEAL_HH
+
+#include "common/rng.hh"
+#include "design/layout_design.hh"
+
+namespace qpad::design
+{
+
+/** Annealer configuration. */
+struct AnnealOptions
+{
+    /** Proposed moves. */
+    std::size_t iterations = 20000;
+    /** Initial acceptance temperature (in cost units). */
+    double t_start = 8.0;
+    /** Final temperature. */
+    double t_end = 0.05;
+    uint64_t seed = 17;
+};
+
+/** Refinement outcome. */
+struct AnnealResult
+{
+    LayoutResult layout;
+    uint64_t initial_cost = 0;
+    uint64_t final_cost = 0;
+    std::size_t accepted_moves = 0;
+};
+
+/**
+ * Anneal a placement, starting from `start` (typically Algorithm
+ * 1's output). Moves are qubit relocations to free frontier nodes
+ * and pairwise qubit swaps; the cost is placementCost(). The result
+ * is never worse than the start (best-seen is returned).
+ */
+AnnealResult annealLayout(const profile::CouplingProfile &profile,
+                          const LayoutResult &start,
+                          const AnnealOptions &options = {});
+
+} // namespace qpad::design
+
+#endif // QPAD_DESIGN_ANNEAL_HH

@@ -1,0 +1,86 @@
+#include "design/auxiliary.hh"
+
+#include <set>
+
+#include "common/logging.hh"
+
+namespace qpad::design
+{
+
+using arch::Architecture;
+using arch::Coord;
+using arch::Layout;
+using arch::PhysQubit;
+
+AuxiliaryResult
+addAuxiliaryQubits(const Layout &layout,
+                   const profile::CouplingProfile &profile,
+                   std::size_t max_aux)
+{
+    qpad_assert(layout.numQubits() == profile.num_qubits,
+                "auxiliary insertion expects the identity "
+                "pseudo-mapping");
+
+    AuxiliaryResult result;
+    result.layout = layout;
+
+    for (std::size_t round = 0; round < max_aux; ++round) {
+        // Distances over the *current* coupling graph (2-qubit buses
+        // only — auxiliaries are selected before bus configuration).
+        Architecture probe(result.layout);
+        const auto &dist = probe.distances();
+
+        // Candidate nodes: empty, adjacent to >= 2 original qubits.
+        std::set<Coord> candidates;
+        for (PhysQubit q = 0; q < result.layout.numQubits(); ++q)
+            for (const Coord &nb :
+                 lattice4(result.layout.coord(q)))
+                if (!result.layout.occupied(nb))
+                    candidates.insert(nb);
+
+        uint64_t best_score = 0;
+        Coord best{};
+        for (const Coord &node : candidates) {
+            // Placed neighbours of this node that carry program
+            // coupling (only original qubits have profile entries).
+            std::vector<PhysQubit> neighbors;
+            for (const Coord &nb : lattice4(node))
+                if (auto q = result.layout.qubitAt(nb))
+                    if (*q < profile.num_qubits)
+                        neighbors.push_back(*q);
+            if (neighbors.size() < 2)
+                continue;
+            uint64_t score = 0;
+            for (std::size_t x = 0; x < neighbors.size(); ++x) {
+                for (std::size_t y = x + 1; y < neighbors.size(); ++y) {
+                    PhysQubit a = neighbors[x], b = neighbors[y];
+                    uint32_t w = profile.strength(a, b);
+                    if (w == 0)
+                        continue;
+                    uint16_t d = dist(a, b);
+                    if (d > 2) {
+                        // Genuine shortcut: the 2-hop path through
+                        // the auxiliary beats the current distance.
+                        score += 4 * uint64_t(w) * (d - 2);
+                    } else if (d == 2) {
+                        // Parallel alternative path: no distance win,
+                        // but extra routing bandwidth for swaps.
+                        score += w;
+                    }
+                }
+            }
+            if (score > best_score) {
+                best_score = score;
+                best = node;
+            }
+        }
+        if (best_score == 0)
+            break; // no remaining node shortens any coupled pair
+        result.layout.addQubit(best);
+        result.added.push_back(best);
+        result.scores.push_back(best_score);
+    }
+    return result;
+}
+
+} // namespace qpad::design

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Auxiliary routing qubits (paper Section 6, "Exploring More Design
+ * Space"): physical qubits with no logical counterpart added to the
+ * generated layout. They cost yield (more connections) but give the
+ * mapper extra freedom, trading yield for performance in the
+ * opposite direction from bus removal.
+ *
+ * Heuristic: an empty lattice node adjacent to two or more placed
+ * qubits is scored by the routing shortcut it creates — the summed
+ * coupling strength of its neighbour pairs weighted by how much the
+ * 2-hop path through the new qubit beats their current coupling
+ * graph distance. Nodes are committed greedily, K times.
+ */
+
+#ifndef QPAD_DESIGN_AUXILIARY_HH
+#define QPAD_DESIGN_AUXILIARY_HH
+
+#include "arch/architecture.hh"
+#include "design/layout_design.hh"
+#include "profile/coupling.hh"
+
+namespace qpad::design
+{
+
+/** Outcome of auxiliary-qubit insertion. */
+struct AuxiliaryResult
+{
+    /** Extended layout: original ids preserved, auxiliaries appended. */
+    arch::Layout layout;
+    /** Coordinates chosen for the auxiliary qubits. */
+    std::vector<arch::Coord> added;
+    /** Heuristic score of each added node. */
+    std::vector<uint64_t> scores;
+};
+
+/**
+ * Add up to max_aux auxiliary qubits to a designed layout. Stops
+ * early when no remaining node provides a positive shortcut.
+ *
+ * @param layout  the Algorithm 1 placement (identity pseudo-mapping)
+ * @param profile the program profile that produced it
+ */
+AuxiliaryResult addAuxiliaryQubits(const arch::Layout &layout,
+                                   const profile::CouplingProfile &profile,
+                                   std::size_t max_aux);
+
+} // namespace qpad::design
+
+#endif // QPAD_DESIGN_AUXILIARY_HH

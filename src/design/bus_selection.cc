@@ -1,0 +1,137 @@
+#include "design/bus_selection.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace qpad::design
+{
+
+using arch::Architecture;
+using arch::Coord;
+using arch::SquareInfo;
+
+namespace
+{
+
+/** Cross-coupling weight: profiled strength of the diagonal pairs. */
+uint64_t
+crossCouplingWeight(const SquareInfo &square,
+                    const profile::CouplingProfile &profile)
+{
+    uint64_t weight = 0;
+    for (auto [a, b] : square.diagonals)
+        weight += profile.strength(a, b);
+    return weight;
+}
+
+bool
+squaresAdjacent(const Coord &a, const Coord &b)
+{
+    return std::abs(a.row - b.row) + std::abs(a.col - b.col) == 1;
+}
+
+} // namespace
+
+BusSelectionResult
+selectBuses(const Architecture &arch,
+            const profile::CouplingProfile &profile,
+            std::size_t max_buses)
+{
+    qpad_assert(arch.numQubits() == profile.num_qubits,
+                "bus selection expects the identity pseudo-mapping");
+
+    std::vector<SquareInfo> squares = arch.eligibleSquares();
+    const std::size_t s = squares.size();
+    std::vector<int64_t> weight(s);
+    for (std::size_t i = 0; i < s; ++i)
+        weight[i] = int64_t(crossCouplingWeight(squares[i], profile));
+
+    std::vector<std::vector<std::size_t>> neighbors(s);
+    for (std::size_t i = 0; i < s; ++i)
+        for (std::size_t j = i + 1; j < s; ++j)
+            if (squaresAdjacent(squares[i].origin, squares[j].origin)) {
+                neighbors[i].push_back(j);
+                neighbors[j].push_back(i);
+            }
+
+    std::vector<bool> unavailable(s, false);
+
+    BusSelectionResult result;
+    std::size_t remaining = max_buses;
+    while (remaining > 0) {
+        // Filtered weight: own weight minus the (current) weights of
+        // the edge-adjacent squares.
+        std::size_t best = s;
+        int64_t best_filtered = 0;
+        for (std::size_t i = 0; i < s; ++i) {
+            if (unavailable[i] || weight[i] == 0)
+                continue;
+            int64_t filtered = weight[i];
+            for (std::size_t j : neighbors[i])
+                filtered -= weight[j];
+            if (best == s || filtered > best_filtered) {
+                best = i;
+                best_filtered = filtered;
+            }
+        }
+        if (best == s)
+            break; // no square available (or none with benefit)
+
+        result.selected.push_back(squares[best].origin);
+        result.weights.push_back(uint64_t(weight[best]));
+        unavailable[best] = true;
+        for (std::size_t j : neighbors[best]) {
+            unavailable[j] = true;
+            weight[j] = 0;
+        }
+        --remaining;
+    }
+    return result;
+}
+
+BusSelectionResult
+selectBusesRandom(const Architecture &arch, std::size_t max_buses,
+                  Rng &rng)
+{
+    std::vector<SquareInfo> squares = arch.eligibleSquares();
+    // Fisher-Yates shuffle of the candidate order.
+    for (std::size_t i = squares.size(); i > 1; --i)
+        std::swap(squares[i - 1], squares[rng.below(i)]);
+
+    BusSelectionResult result;
+    Architecture scratch = arch;
+    for (const SquareInfo &sq : squares) {
+        if (result.selected.size() >= max_buses)
+            break;
+        if (scratch.canAddFourQubitBus(sq.origin)) {
+            scratch.addFourQubitBus(sq.origin);
+            result.selected.push_back(sq.origin);
+            result.weights.push_back(0);
+        }
+    }
+    return result;
+}
+
+void
+applyBusSelection(Architecture &arch, const BusSelectionResult &selection)
+{
+    for (const Coord &origin : selection.selected)
+        arch.addFourQubitBus(origin);
+}
+
+std::size_t
+maxPlaceableBuses(const Architecture &arch)
+{
+    Architecture scratch = arch;
+    std::size_t count = 0;
+    for (const SquareInfo &sq : scratch.eligibleSquares()) {
+        if (scratch.canAddFourQubitBus(sq.origin)) {
+            scratch.addFourQubitBus(sq.origin);
+            ++count;
+        }
+    }
+    return count;
+}
+
+} // namespace qpad::design

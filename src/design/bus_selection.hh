@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Filtered-weight 4-qubit bus selection
+ * (paper Algorithm 2, Section 4.2).
+ *
+ * Each lattice square's cross-coupling weight is the profiled
+ * coupling strength of its occupied diagonal pairs (one pair for a
+ * 3-qubit square). In every iteration the square with the highest
+ * *filtered* weight — its own weight minus the weights of its four
+ * edge-adjacent squares — is promoted to a 4-qubit bus; its
+ * neighbours are then blocked (prohibited condition) and zeroed.
+ */
+
+#ifndef QPAD_DESIGN_BUS_SELECTION_HH
+#define QPAD_DESIGN_BUS_SELECTION_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/architecture.hh"
+#include "common/rng.hh"
+#include "profile/coupling.hh"
+
+namespace qpad::design
+{
+
+/** Selection outcome. */
+struct BusSelectionResult
+{
+    /** Chosen square origins, in selection order. */
+    std::vector<arch::Coord> selected;
+    /** Cross-coupling weight of each chosen square. */
+    std::vector<uint64_t> weights;
+};
+
+/**
+ * Run Algorithm 2 against an architecture whose physical qubit ids
+ * equal the profiled logical ids (the identity pseudo-mapping of
+ * the layout designer).
+ *
+ * @param max_buses maximum number of 4-qubit buses (the paper's K).
+ *        Selection also stops when no eligible square remains or
+ *        when every remaining square has zero cross-coupling weight
+ *        (adding a bus there could only hurt yield).
+ */
+BusSelectionResult selectBuses(const arch::Architecture &arch,
+                               const profile::CouplingProfile &profile,
+                               std::size_t max_buses);
+
+/**
+ * eff-rd-bus baseline: uniformly random selection of up to
+ * max_buses squares honouring the prohibited condition.
+ */
+BusSelectionResult selectBusesRandom(const arch::Architecture &arch,
+                                     std::size_t max_buses, Rng &rng);
+
+/** Apply a selection to an architecture (adds the 4-qubit buses). */
+void applyBusSelection(arch::Architecture &arch,
+                       const BusSelectionResult &selection);
+
+/**
+ * Largest number of 4-qubit buses any selection could place on this
+ * layout (greedy bound used to enumerate the eff-full sweep).
+ */
+std::size_t maxPlaceableBuses(const arch::Architecture &arch);
+
+} // namespace qpad::design
+
+#endif // QPAD_DESIGN_BUS_SELECTION_HH

@@ -1,0 +1,67 @@
+#include "design/design_flow.hh"
+
+#include "arch/ibm.hh"
+#include "common/logging.hh"
+
+namespace qpad::design
+{
+
+using arch::Architecture;
+
+DesignOutcome
+designArchitecture(const profile::CouplingProfile &profile,
+                   const DesignFlowOptions &options,
+                   const std::string &name)
+{
+    DesignOutcome outcome;
+
+    // Subroutine 1: qubit layout (Algorithm 1).
+    outcome.layout = designLayout(profile);
+    outcome.architecture = Architecture(outcome.layout.layout, name);
+
+    // Subroutine 2: bus selection (Algorithm 2 or a baseline).
+    switch (options.bus_scheme) {
+      case BusScheme::Weighted:
+        outcome.buses = selectBuses(outcome.architecture, profile,
+                                    options.max_buses);
+        applyBusSelection(outcome.architecture, outcome.buses);
+        break;
+      case BusScheme::Random: {
+        Rng rng(options.bus_seed);
+        outcome.buses = selectBusesRandom(outcome.architecture,
+                                          options.max_buses, rng);
+        applyBusSelection(outcome.architecture, outcome.buses);
+        break;
+      }
+      case BusScheme::None:
+        break;
+      case BusScheme::Max: {
+        Architecture &arch = outcome.architecture;
+        for (const arch::SquareInfo &sq : arch.eligibleSquares()) {
+            if (arch.canAddFourQubitBus(sq.origin)) {
+                arch.addFourQubitBus(sq.origin);
+                outcome.buses.selected.push_back(sq.origin);
+                outcome.buses.weights.push_back(0);
+            }
+        }
+        break;
+      }
+    }
+
+    // Subroutine 3: frequency allocation (Algorithm 3 or 5-freq).
+    switch (options.freq_scheme) {
+      case FreqScheme::Optimized:
+        outcome.freq =
+            allocateFrequencies(outcome.architecture,
+                                options.freq_options);
+        outcome.architecture.setAllFrequencies(outcome.freq.freqs);
+        break;
+      case FreqScheme::FiveFrequency:
+        arch::applyFiveFrequencyScheme(outcome.architecture);
+        break;
+    }
+
+    return outcome;
+}
+
+} // namespace qpad::design

@@ -1,0 +1,279 @@
+#include "design/freq_alloc.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <queue>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace qpad::design
+{
+
+using arch::Architecture;
+using arch::DeviceConstants;
+using arch::Layout;
+using arch::PhysQubit;
+using yield::CollisionChecker;
+
+PhysQubit
+centerQubit(const Layout &layout)
+{
+    qpad_assert(layout.numQubits() > 0, "empty layout");
+    double mean_row = 0.0, mean_col = 0.0;
+    for (const auto &c : layout.coords()) {
+        mean_row += c.row;
+        mean_col += c.col;
+    }
+    mean_row /= double(layout.numQubits());
+    mean_col /= double(layout.numQubits());
+
+    PhysQubit best = 0;
+    double best_d2 = std::numeric_limits<double>::infinity();
+    for (PhysQubit q = 0; q < layout.numQubits(); ++q) {
+        const auto &c = layout.coord(q);
+        double dr = c.row - mean_row;
+        double dc = c.col - mean_col;
+        double d2 = dr * dr + dc * dc;
+        if (d2 < best_d2) {
+            best_d2 = d2;
+            best = q;
+        }
+    }
+    return best;
+}
+
+namespace
+{
+
+/** Collision terms whose value depends on f(q), among assigned. */
+struct LocalTerms
+{
+    std::vector<CollisionChecker::PairTerm> pairs;
+    std::vector<CollisionChecker::TripleTerm> triples;
+    std::vector<PhysQubit> involved; // q itself plus its term partners
+};
+
+LocalTerms
+buildLocalTerms(const Architecture &arch, PhysQubit q,
+                const std::vector<bool> &assigned)
+{
+    LocalTerms terms;
+    const auto &adj = arch.adjacency();
+    std::vector<bool> involved_mask(arch.numQubits(), false);
+    auto involve = [&](PhysQubit x) {
+        if (!involved_mask[x]) {
+            involved_mask[x] = true;
+            terms.involved.push_back(x);
+        }
+    };
+    involve(q);
+
+    // Conditions 1-4: edges incident to q.
+    for (PhysQubit nb : adj[q]) {
+        if (!assigned[nb])
+            continue;
+        terms.pairs.push_back({q, nb});
+        involve(nb);
+    }
+    // Conditions 5-7 with q as the shared neighbour j.
+    for (std::size_t x = 0; x < adj[q].size(); ++x) {
+        for (std::size_t y = x + 1; y < adj[q].size(); ++y) {
+            PhysQubit k = adj[q][x], i = adj[q][y];
+            if (!assigned[k] || !assigned[i])
+                continue;
+            terms.triples.push_back({q, k, i});
+            involve(k);
+            involve(i);
+        }
+    }
+    // Conditions 5-7 with q as one of the outer qubits: the shared
+    // neighbour j is any neighbour of q, the other outer qubit any
+    // other neighbour of j.
+    for (PhysQubit j : adj[q]) {
+        if (!assigned[j])
+            continue;
+        for (PhysQubit other : adj[j]) {
+            if (other == q || !assigned[other])
+                continue;
+            terms.triples.push_back({j, std::min(q, other),
+                                     std::max(q, other)});
+            involve(j);
+            involve(other);
+        }
+    }
+    return terms;
+}
+
+} // namespace
+
+FreqAllocResult
+allocateFrequencies(const Architecture &arch,
+                    const FreqAllocOptions &options)
+{
+    const std::size_t n = arch.numQubits();
+    qpad_assert(n > 0, "cannot allocate frequencies on an empty chip");
+
+    // Candidate grid 5.00, 5.01, ..., 5.34 GHz.
+    std::vector<double> candidates;
+    for (double f = DeviceConstants::freq_min_ghz;
+         f <= DeviceConstants::freq_max_ghz + 1e-9;
+         f += options.grid_step_ghz)
+        candidates.push_back(f);
+
+    FreqAllocResult result;
+    result.freqs.assign(n, 0.0);
+    std::vector<bool> assigned(n, false);
+
+    const PhysQubit center = centerQubit(arch.layout());
+    const double mid = 0.5 * (DeviceConstants::freq_min_ghz +
+                              DeviceConstants::freq_max_ghz);
+    result.freqs[center] = mid;
+    assigned[center] = true;
+    result.order.push_back(center);
+    result.local_scores.push_back(1.0);
+
+    Rng rng(options.seed);
+
+    // Breadth-first traversal of the coupling graph from the centre;
+    // disconnected leftovers (possible on degenerate layouts) are
+    // seeded from their own centre-most unvisited qubit.
+    std::queue<PhysQubit> fifo;
+    std::vector<bool> enqueued(n, false);
+    fifo.push(center);
+    enqueued[center] = true;
+
+    // Evaluate every candidate frequency for q against the collision
+    // terms it participates in (among assigned qubits) and return the
+    // best (frequency, local yield) pair.
+    auto optimize = [&](PhysQubit q) -> std::pair<double, double> {
+        LocalTerms terms = buildLocalTerms(arch, q, assigned);
+        const std::size_t n_inv = terms.involved.size();
+
+        // Translate terms into local indices once.
+        std::vector<std::size_t> index_of(n, SIZE_MAX);
+        for (std::size_t idx = 0; idx < n_inv; ++idx)
+            index_of[terms.involved[idx]] = idx;
+        const std::size_t qi = index_of[q];
+
+        struct PairIdx { std::size_t a, b; };
+        struct TripleIdx { std::size_t j, k, i; };
+        std::vector<PairIdx> pairs;
+        pairs.reserve(terms.pairs.size());
+        for (const auto &p : terms.pairs)
+            pairs.push_back({index_of[p.a], index_of[p.b]});
+        std::vector<TripleIdx> triples;
+        triples.reserve(terms.triples.size());
+        for (const auto &t : terms.triples)
+            triples.push_back(
+                {index_of[t.j], index_of[t.k], index_of[t.i]});
+
+        // Common random numbers: one post-fabrication frequency table
+        // shared by all candidates (only entry qi varies), so the
+        // argmax is not washed out by sampling variance.
+        const std::size_t trials = options.local_trials;
+        std::vector<double> post(trials * n_inv);
+        std::vector<double> q_noise(trials);
+        for (std::size_t t = 0; t < trials; ++t) {
+            double *row = &post[t * n_inv];
+            for (std::size_t idx = 0; idx < n_inv; ++idx)
+                row[idx] = result.freqs[terms.involved[idx]] +
+                           rng.gaussian(0.0, options.sigma_ghz);
+            q_noise[t] = rng.gaussian(0.0, options.sigma_ghz);
+        }
+
+        double best_score = -1.0;
+        double best_freq = mid;
+        for (double cand : candidates) {
+            std::size_t ok = 0;
+            for (std::size_t t = 0; t < trials; ++t) {
+                double *row = &post[t * n_inv];
+                row[qi] = cand + q_noise[t];
+                bool failed = false;
+                for (const auto &p : pairs) {
+                    if (yield::pairCollides(options.model, row[p.a],
+                                            row[p.b])) {
+                        failed = true;
+                        break;
+                    }
+                }
+                if (!failed) {
+                    for (const auto &tr : triples) {
+                        if (yield::tripleCollides(options.model,
+                                                  row[tr.j], row[tr.k],
+                                                  row[tr.i])) {
+                            failed = true;
+                            break;
+                        }
+                    }
+                }
+                if (!failed)
+                    ++ok;
+            }
+            double score = double(ok) / double(trials);
+            if (score > best_score) {
+                best_score = score;
+                best_freq = cand;
+            }
+        }
+        return {best_freq, best_score};
+    };
+
+    auto process = [&](PhysQubit q) {
+        auto [freq, score] = optimize(q);
+        result.freqs[q] = freq;
+        assigned[q] = true;
+        result.order.push_back(q);
+        result.local_scores.push_back(score);
+    };
+
+    while (true) {
+        while (!fifo.empty()) {
+            PhysQubit u = fifo.front();
+            fifo.pop();
+            for (PhysQubit v : arch.adjacency()[u]) {
+                if (!enqueued[v]) {
+                    enqueued[v] = true;
+                    process(v);
+                    fifo.push(v);
+                }
+            }
+        }
+        // Any disconnected component left?
+        auto it = std::find(enqueued.begin(), enqueued.end(), false);
+        if (it == enqueued.end())
+            break;
+        PhysQubit seed = PhysQubit(it - enqueued.begin());
+        result.freqs[seed] = mid;
+        assigned[seed] = true;
+        enqueued[seed] = true;
+        result.order.push_back(seed);
+        result.local_scores.push_back(1.0);
+        fifo.push(seed);
+    }
+
+    // Coordinate-descent polish: revisit every qubit with the full
+    // neighbourhood assigned and keep the per-qubit argmax.
+    for (unsigned sweep = 0; sweep < options.refine_sweeps; ++sweep) {
+        for (std::size_t idx = 0; idx < result.order.size(); ++idx) {
+            PhysQubit q = result.order[idx];
+            auto [freq, score] = optimize(q);
+            result.freqs[q] = freq;
+            result.local_scores[idx] = score;
+        }
+    }
+
+    return result;
+}
+
+void
+applyOptimizedFrequencies(Architecture &arch,
+                          const FreqAllocOptions &options)
+{
+    FreqAllocResult result = allocateFrequencies(arch, options);
+    arch.setAllFrequencies(result.freqs);
+}
+
+} // namespace qpad::design

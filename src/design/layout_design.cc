@@ -1,0 +1,129 @@
+#include "design/layout_design.hh"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+#include <unordered_set>
+
+#include "common/logging.hh"
+
+namespace qpad::design
+{
+
+using arch::Coord;
+using arch::CoordHash;
+using circuit::Qubit;
+
+uint64_t
+placementCost(const profile::CouplingProfile &profile,
+              const std::vector<Coord> &coords)
+{
+    qpad_assert(coords.size() == profile.num_qubits,
+                "placement size mismatch");
+    uint64_t cost = 0;
+    for (auto [i, j] : profile.edges())
+        cost += uint64_t(profile.strength(i, j)) *
+                uint64_t(Coord::manhattan(coords[i], coords[j]));
+    return cost;
+}
+
+LayoutResult
+designLayout(const profile::CouplingProfile &profile)
+{
+    const std::size_t n = profile.num_qubits;
+    qpad_assert(n >= 1, "cannot place zero qubits");
+
+    std::vector<Coord> coord_of(n);
+    std::vector<bool> placed(n, false);
+
+    std::unordered_set<Coord, CoordHash> occupied;
+    // Empty nodes adjacent to at least one occupied node, kept
+    // ordered for deterministic tie-breaking.
+    std::set<Coord> frontier;
+
+    auto occupy = [&](Qubit q, const Coord &c) {
+        coord_of[q] = c;
+        placed[q] = true;
+        occupied.insert(c);
+        frontier.erase(c);
+        for (const Coord &nb : lattice4(c))
+            if (!occupied.count(nb))
+                frontier.insert(nb);
+    };
+
+    // Step 1: the highest-degree qubit anchors the lattice at (0,0).
+    occupy(profile.degree_list.front(), {0, 0});
+
+    // degree_list is already sorted descending, so scanning it gives
+    // the highest-degree candidate.
+    auto next_candidate = [&]() -> Qubit {
+        for (Qubit q : profile.degree_list) {
+            if (placed[q])
+                continue;
+            for (std::size_t other = 0; other < n; ++other) {
+                if (placed[other] &&
+                    profile.strength(q, other) > 0)
+                    return q;
+            }
+        }
+        // Disconnected component (or isolated qubits): fall back to
+        // the highest-degree unplaced qubit so placement terminates.
+        for (Qubit q : profile.degree_list)
+            if (!placed[q])
+                return q;
+        qpad_panic("no candidate qubit left");
+    };
+
+    for (std::size_t step = 1; step < n; ++step) {
+        Qubit q = next_candidate();
+
+        // Evaluate every frontier node with the heuristic cost
+        // function (line 13 of Algorithm 1).
+        uint64_t best_cost = std::numeric_limits<uint64_t>::max();
+        Coord best{};
+        bool found = false;
+        for (const Coord &node : frontier) {
+            uint64_t cost = 0;
+            for (std::size_t other = 0; other < n; ++other) {
+                if (!placed[other])
+                    continue;
+                uint32_t w = profile.strength(q, other);
+                if (w == 0)
+                    continue;
+                cost += uint64_t(w) *
+                        uint64_t(Coord::manhattan(node,
+                                                  coord_of[other]));
+            }
+            // std::set iteration is row-major, so strict < keeps the
+            // first (deterministic) minimum.
+            if (!found || cost < best_cost) {
+                best_cost = cost;
+                best = node;
+                found = true;
+            }
+        }
+        qpad_assert(found, "empty frontier with qubits remaining");
+        occupy(q, best);
+    }
+
+    LayoutResult result;
+    result.coord_of_logical = coord_of;
+    // Normalize so the bounding box starts at (0,0), then build the
+    // Layout in logical order: physical id == logical id.
+    int r0 = coord_of[0].row, c0 = coord_of[0].col;
+    for (const Coord &c : coord_of) {
+        r0 = std::min(r0, c.row);
+        c0 = std::min(c0, c.col);
+    }
+    for (auto &c : result.coord_of_logical) {
+        c.row -= r0;
+        c.col -= c0;
+    }
+    for (std::size_t q = 0; q < n; ++q)
+        result.layout.addQubit(result.coord_of_logical[q]);
+    result.placement_cost =
+        placementCost(profile, result.coord_of_logical);
+    return result;
+}
+
+} // namespace qpad::design

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Coupling-based qubit placement on a 2-D lattice
+ * (paper Algorithm 1, Section 4.1).
+ *
+ * Qubits are placed in coupling-degree order; each new qubit goes to
+ * the empty lattice node (adjacent to the occupied region) that
+ * minimizes sum over its already-placed logical neighbours q' of
+ *   strength(q, q') * manhattan(node, location(q')).
+ */
+
+#ifndef QPAD_DESIGN_LAYOUT_DESIGN_HH
+#define QPAD_DESIGN_LAYOUT_DESIGN_HH
+
+#include "arch/layout.hh"
+#include "profile/coupling.hh"
+
+namespace qpad::design
+{
+
+/** Placement outcome. */
+struct LayoutResult
+{
+    /**
+     * The generated placement; physical qubit id i hosts logical
+     * qubit i (the paper's "pseudo mapping" is the identity).
+     */
+    arch::Layout layout;
+
+    /** Coordinate chosen for each logical qubit. */
+    std::vector<arch::Coord> coord_of_logical;
+
+    /**
+     * Heuristic cost of the final placement: sum over logical edges
+     * of strength * manhattan distance (lower = better locality).
+     */
+    uint64_t placement_cost = 0;
+};
+
+/** Run Algorithm 1 on a profile. */
+LayoutResult designLayout(const profile::CouplingProfile &profile);
+
+/** The cost functional above for an arbitrary placement. */
+uint64_t placementCost(const profile::CouplingProfile &profile,
+                       const std::vector<arch::Coord> &coords);
+
+} // namespace qpad::design
+
+#endif // QPAD_DESIGN_LAYOUT_DESIGN_HH

@@ -1,0 +1,182 @@
+#include "eval/experiment.hh"
+
+#include <algorithm>
+
+#include "arch/ibm.hh"
+#include "common/logging.hh"
+#include "profile/coupling.hh"
+
+namespace qpad::eval
+{
+
+using arch::Architecture;
+using circuit::Circuit;
+
+std::vector<const DataPoint *>
+BenchmarkExperiment::config(const std::string &name) const
+{
+    std::vector<const DataPoint *> out;
+    for (const auto &p : points)
+        if (p.config == name)
+            out.push_back(&p);
+    return out;
+}
+
+double
+BenchmarkExperiment::bestYield(const std::string &config_name) const
+{
+    double best = 0.0;
+    for (const auto *p : config(config_name))
+        best = std::max(best, p->yield);
+    return best;
+}
+
+std::size_t
+BenchmarkExperiment::bestGates(const std::string &config_name) const
+{
+    std::size_t best = SIZE_MAX;
+    for (const auto *p : config(config_name))
+        best = std::min(best, p->gate_count);
+    return best;
+}
+
+DataPoint
+measure(const std::string &config, const Architecture &arch,
+        const Circuit &circuit, const ExperimentOptions &options)
+{
+    DataPoint point;
+    point.config = config;
+    point.arch_name = arch.name();
+    point.num_qubits = arch.numQubits();
+    point.num_edges = arch.numEdges();
+    point.num_buses = arch.fourQubitBuses().size();
+
+    mapping::MappingResult mapped =
+        mapping::mapCircuit(circuit, arch, options.mapping_options);
+    point.gate_count = mapped.total_gates;
+    point.swaps = mapped.swaps;
+
+    yield::YieldOptions yopts = options.yield_options;
+    yield::YieldResult yr = yield::estimateYield(arch, yopts);
+    while (options.adaptive_yield_trials && yr.successes == 0 &&
+           yopts.trials < options.max_yield_trials) {
+        yopts.trials = std::min(options.max_yield_trials,
+                                yopts.trials * 10);
+        yr = yield::estimateYield(arch, yopts);
+    }
+    point.yield = yr.yield;
+    point.yield_trials = yr.trials;
+    return point;
+}
+
+BenchmarkExperiment
+runBenchmark(const benchmarks::BenchmarkInfo &info,
+             const ExperimentOptions &options)
+{
+    BenchmarkExperiment experiment;
+    experiment.benchmark = info.name;
+
+    Circuit circuit = info.generate();
+    experiment.logical_qubits = circuit.numQubits();
+    experiment.original_gates = circuit.unitaryGateCount();
+
+    profile::CouplingProfile prof = profile::profileCircuit(circuit);
+
+    // --- ibm: the four general-purpose baselines -------------------
+    if (options.run_ibm) {
+        for (Architecture &baseline : arch::ibmBaselines()) {
+            if (baseline.numQubits() < circuit.numQubits())
+                continue;
+            experiment.points.push_back(
+                measure("ibm", baseline, circuit, options));
+        }
+    }
+
+    // Shared flow pieces.
+    design::DesignFlowOptions flow;
+    flow.freq_options = options.freq_options;
+
+    // How many weighted buses are worth adding at all.
+    design::LayoutResult layout = design::designLayout(prof);
+    Architecture bare(layout.layout, "eff-bare");
+    design::BusSelectionResult all_weighted =
+        design::selectBuses(bare, prof, SIZE_MAX);
+    const std::size_t beneficial = all_weighted.selected.size();
+
+    // --- eff-full: Algorithm 1 + 2 + 3, sweeping K -----------------
+    if (options.run_eff_full) {
+        for (std::size_t k = 0; k <= beneficial; ++k) {
+            flow.bus_scheme = design::BusScheme::Weighted;
+            flow.max_buses = k;
+            flow.freq_scheme = design::FreqScheme::Optimized;
+            auto outcome = design::designArchitecture(
+                prof, flow, "eff-full-k" + std::to_string(k));
+            experiment.points.push_back(measure(
+                "eff-full", outcome.architecture, circuit, options));
+        }
+    }
+
+    // --- eff-5-freq: layout + buses, IBM frequency tiling ----------
+    if (options.run_eff_5_freq) {
+        for (std::size_t k = 0; k <= beneficial; ++k) {
+            flow.bus_scheme = design::BusScheme::Weighted;
+            flow.max_buses = k;
+            flow.freq_scheme = design::FreqScheme::FiveFrequency;
+            auto outcome = design::designArchitecture(
+                prof, flow, "eff-5-freq-k" + std::to_string(k));
+            experiment.points.push_back(measure(
+                "eff-5-freq", outcome.architecture, circuit, options));
+        }
+    }
+
+    // --- eff-rd-bus: random bus placement samples ------------------
+    if (options.run_eff_rd_bus) {
+        const std::size_t max_any = design::maxPlaceableBuses(bare);
+        for (std::size_t s = 0; s < options.random_bus_samples; ++s) {
+            if (max_any == 0)
+                break;
+            flow.bus_scheme = design::BusScheme::Random;
+            flow.max_buses = 1 + s % max_any;
+            flow.freq_scheme = design::FreqScheme::Optimized;
+            flow.bus_seed = options.seed * 7919 + s;
+            auto outcome = design::designArchitecture(
+                prof, flow, "eff-rd-bus-s" + std::to_string(s));
+            experiment.points.push_back(measure(
+                "eff-rd-bus", outcome.architecture, circuit, options));
+        }
+    }
+
+    // --- eff-layout-only: layout + {no, max} buses, 5-freq ---------
+    if (options.run_eff_layout_only) {
+        for (bool max_buses : {false, true}) {
+            flow.bus_scheme = max_buses ? design::BusScheme::Max
+                                        : design::BusScheme::None;
+            flow.max_buses = SIZE_MAX;
+            flow.freq_scheme = design::FreqScheme::FiveFrequency;
+            auto outcome = design::designArchitecture(
+                prof, flow,
+                max_buses ? "eff-layout-only-max"
+                          : "eff-layout-only-2q");
+            experiment.points.push_back(
+                measure("eff-layout-only", outcome.architecture,
+                        circuit, options));
+        }
+    }
+
+    normalize(experiment);
+    return experiment;
+}
+
+void
+normalize(BenchmarkExperiment &experiment)
+{
+    std::size_t max_gates = 0;
+    for (const auto &p : experiment.points)
+        max_gates = std::max(max_gates, p.gate_count);
+    for (auto &p : experiment.points) {
+        qpad_assert(p.gate_count > 0, "zero post-mapping gate count");
+        p.norm_recip_gates = double(max_gates) / double(p.gate_count);
+    }
+}
+
+} // namespace qpad::eval

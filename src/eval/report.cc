@@ -1,0 +1,98 @@
+#include "eval/report.hh"
+
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace qpad::eval
+{
+
+std::string
+formatYield(double yield)
+{
+    std::ostringstream oss;
+    oss << std::scientific << std::setprecision(2) << yield;
+    return oss.str();
+}
+
+std::string
+formatFixed(double value, int decimals)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(decimals) << value;
+    return oss.str();
+}
+
+double
+geomean(const std::vector<double> &values, double floor)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double v : values)
+        log_sum += std::log(std::max(v, floor));
+    return std::exp(log_sum / double(values.size()));
+}
+
+namespace
+{
+
+/** Yield cell: "< 5.0e-07" when nothing succeeded in N trials. */
+std::string
+yieldCell(const DataPoint &p)
+{
+    if (p.yield == 0.0 && p.yield_trials > 0)
+        return "<" + formatYield(1.0 / double(p.yield_trials));
+    return formatYield(p.yield);
+}
+
+} // namespace
+
+void
+printExperiment(std::ostream &out, const BenchmarkExperiment &experiment)
+{
+    out << experiment.benchmark << " (" << experiment.logical_qubits
+        << " logical qubits, " << experiment.original_gates
+        << " gates before mapping)\n";
+    out << "  " << std::left << std::setw(16) << "config"
+        << std::setw(22) << "architecture" << std::right << std::setw(3)
+        << "Q" << std::setw(6) << "conn" << std::setw(6) << "bus"
+        << std::setw(8) << "gates" << std::setw(7) << "swaps"
+        << std::setw(9) << "1/gates*" << std::setw(11) << "yield"
+        << "\n";
+    for (const auto &p : experiment.points) {
+        out << "  " << std::left << std::setw(16) << p.config
+            << std::setw(22) << p.arch_name << std::right << std::setw(3)
+            << p.num_qubits << std::setw(6) << p.num_edges
+            << std::setw(6) << p.num_buses << std::setw(8)
+            << p.gate_count << std::setw(7) << p.swaps << std::setw(9)
+            << formatFixed(p.norm_recip_gates) << std::setw(11)
+            << yieldCell(p) << "\n";
+    }
+}
+
+void
+printExperimentCsv(std::ostream &out,
+                   const BenchmarkExperiment &experiment, bool header)
+{
+    if (header)
+        out << "benchmark,config,architecture,qubits,connections,"
+            << "buses,gates,swaps,norm_recip_gates,yield\n";
+    for (const auto &p : experiment.points) {
+        out << experiment.benchmark << ',' << p.config << ','
+            << p.arch_name << ',' << p.num_qubits << ',' << p.num_edges
+            << ',' << p.num_buses << ',' << p.gate_count << ','
+            << p.swaps << ',' << formatFixed(p.norm_recip_gates, 4)
+            << ',' << formatYield(p.yield) << "\n";
+    }
+}
+
+void
+printHeader(std::ostream &out, const std::string &title)
+{
+    std::string bar(title.size() + 4, '=');
+    out << bar << "\n= " << title << " =\n" << bar << "\n";
+}
+
+} // namespace qpad::eval

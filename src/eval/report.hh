@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Shared text reporting for benches and examples: aligned tables,
+ * scientific-notation yields, per-benchmark Figure 10 series, and
+ * small statistics helpers.
+ */
+
+#ifndef QPAD_EVAL_REPORT_HH
+#define QPAD_EVAL_REPORT_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "eval/experiment.hh"
+
+namespace qpad::eval
+{
+
+/** "1.2e-03"-style yield formatting (matches the paper's axis). */
+std::string formatYield(double yield);
+
+/** Fixed-point with the given number of decimals. */
+std::string formatFixed(double value, int decimals = 3);
+
+/** Geometric mean (zeros clamped to `floor` to stay finite). */
+double geomean(const std::vector<double> &values,
+               double floor = 1e-12);
+
+/**
+ * Print one benchmark's Figure 10 series: a row per data point with
+ * config, architecture, qubits, connections, buses, post-mapping
+ * gates, normalized reciprocal gate count, and yield.
+ */
+void printExperiment(std::ostream &out,
+                     const BenchmarkExperiment &experiment);
+
+/** Same data as CSV (header + rows). */
+void printExperimentCsv(std::ostream &out,
+                        const BenchmarkExperiment &experiment,
+                        bool header);
+
+/** A boxed section header, to make bench output scannable. */
+void printHeader(std::ostream &out, const std::string &title);
+
+} // namespace qpad::eval
+
+#endif // QPAD_EVAL_REPORT_HH

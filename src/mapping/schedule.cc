@@ -1,0 +1,153 @@
+#include "mapping/schedule.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "common/logging.hh"
+
+namespace qpad::mapping
+{
+
+using arch::Architecture;
+using arch::PhysQubit;
+using circuit::Circuit;
+using circuit::Gate;
+using circuit::GateKind;
+
+std::vector<std::size_t>
+busOfEdge(const Architecture &arch)
+{
+    const auto &edges = arch.edges();
+    std::map<std::pair<PhysQubit, PhysQubit>, std::size_t> edge_index;
+    for (std::size_t i = 0; i < edges.size(); ++i)
+        edge_index[edges[i]] = i;
+
+    std::vector<std::size_t> bus(edges.size(), SIZE_MAX);
+    std::size_t next_bus = 0;
+
+    // 4-qubit buses first: every coupled pair among a square's
+    // corners shares the square's resonator.
+    for (const auto &origin : arch.fourQubitBuses()) {
+        std::vector<PhysQubit> corners;
+        for (int dr = 0; dr <= 1; ++dr)
+            for (int dc = 0; dc <= 1; ++dc)
+                if (auto q =
+                        arch.layout().qubitAt(origin.offset(dr, dc)))
+                    corners.push_back(*q);
+        std::size_t bus_id = next_bus++;
+        for (std::size_t x = 0; x < corners.size(); ++x) {
+            for (std::size_t y = x + 1; y < corners.size(); ++y) {
+                auto key = std::minmax(corners[x], corners[y]);
+                auto it = edge_index.find(
+                    {key.first, key.second});
+                if (it != edge_index.end())
+                    bus[it->second] = bus_id;
+            }
+        }
+    }
+    // Remaining edges are plain 2-qubit buses.
+    for (auto &b : bus)
+        if (b == SIZE_MAX)
+            b = next_bus++;
+    return bus;
+}
+
+ScheduleResult
+scheduleCircuit(const Circuit &mapped, const Architecture &arch,
+                const ScheduleOptions &options)
+{
+    const auto &edges = arch.edges();
+    std::map<std::pair<PhysQubit, PhysQubit>, std::size_t> edge_index;
+    for (std::size_t i = 0; i < edges.size(); ++i)
+        edge_index[edges[i]] = i;
+    std::vector<std::size_t> bus = busOfEdge(arch);
+
+    std::size_t num_buses = 0;
+    for (auto b : bus)
+        num_buses = std::max(num_buses, b + 1);
+
+    std::vector<std::size_t> qubit_free(arch.numQubits(), 0);
+    std::vector<std::size_t> bus_free(num_buses, 0);
+
+    ScheduleResult result;
+    result.start.resize(mapped.size(), 0);
+
+    std::size_t busy_cycles_weighted = 0; // sum of gate durations
+
+    for (std::size_t id = 0; id < mapped.size(); ++id) {
+        const Gate &g = mapped.gate(id);
+        if (g.kind == GateKind::Barrier) {
+            std::size_t level = 0;
+            for (auto f : qubit_free)
+                level = std::max(level, f);
+            std::fill(qubit_free.begin(), qubit_free.end(), level);
+            result.start[id] = level;
+            continue;
+        }
+
+        unsigned duration = options.cycles_1q;
+        if (g.isTwoQubit())
+            duration = options.cycles_2q;
+        else if (g.kind == GateKind::Measure)
+            duration = options.cycles_measure;
+
+        std::size_t earliest = 0;
+        for (auto q : g.qubits)
+            earliest = std::max(earliest, qubit_free[q]);
+
+        std::size_t bus_id = SIZE_MAX;
+        if (g.isTwoQubit()) {
+            auto key = std::minmax(g.qubits[0], g.qubits[1]);
+            auto it = edge_index.find({key.first, key.second});
+            qpad_assert(it != edge_index.end(),
+                        "schedule: gate ", g.str(),
+                        " does not respect the coupling graph");
+            bus_id = bus[it->second];
+            if (bus_free[bus_id] > earliest) {
+                result.bus_stall_cycles +=
+                    bus_free[bus_id] - earliest;
+                earliest = bus_free[bus_id];
+            }
+        }
+
+        result.start[id] = earliest;
+        std::size_t done = earliest + duration;
+        for (auto q : g.qubits)
+            qubit_free[q] = done;
+        if (bus_id != SIZE_MAX)
+            bus_free[bus_id] = done;
+        result.makespan = std::max(result.makespan, done);
+        busy_cycles_weighted += duration;
+    }
+
+    // Parallelism statistics via a sweep over the schedule.
+    if (result.makespan > 0) {
+        std::vector<int> in_flight(result.makespan + 1, 0);
+        for (std::size_t id = 0; id < mapped.size(); ++id) {
+            const Gate &g = mapped.gate(id);
+            if (g.kind == GateKind::Barrier)
+                continue;
+            unsigned duration = options.cycles_1q;
+            if (g.isTwoQubit())
+                duration = options.cycles_2q;
+            else if (g.kind == GateKind::Measure)
+                duration = options.cycles_measure;
+            for (std::size_t t = result.start[id];
+                 t < result.start[id] + duration; ++t)
+                ++in_flight[t];
+        }
+        std::size_t busy = 0;
+        for (std::size_t t = 0; t < result.makespan; ++t) {
+            if (in_flight[t] >= 2)
+                ++result.parallel_cycles;
+            if (in_flight[t] >= 1)
+                ++busy;
+        }
+        if (busy > 0)
+            result.parallelism =
+                double(busy_cycles_weighted) / double(busy);
+    }
+    return result;
+}
+
+} // namespace qpad::mapping

@@ -1,0 +1,114 @@
+#include "profile/temporal.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include "common/logging.hh"
+
+namespace qpad::profile
+{
+
+using circuit::Qubit;
+
+CouplingProfile
+TemporalProfile::weighted(double decay, uint32_t scale) const
+{
+    qpad_assert(decay > 0.0 && decay <= 1.0,
+                "decay must be in (0, 1]");
+    CouplingProfile prof;
+    prof.num_qubits = num_qubits;
+    prof.strength = SymMatrix<uint32_t>(num_qubits, 0);
+    prof.degrees.assign(num_qubits, 0);
+
+    double window_weight = double(scale);
+    for (const TemporalWindow &w : windows) {
+        uint32_t factor =
+            std::max<uint32_t>(1, uint32_t(std::lround(window_weight)));
+        for (std::size_t i = 0; i < num_qubits; ++i) {
+            for (std::size_t j = i + 1; j < num_qubits; ++j) {
+                uint32_t gates = w.strength(i, j);
+                if (gates == 0)
+                    continue;
+                uint32_t add = gates * factor;
+                prof.strength.at(i, j) += add;
+                prof.degrees[i] += add;
+                prof.degrees[j] += add;
+                prof.total_two_qubit_gates += gates;
+            }
+        }
+        window_weight *= decay;
+    }
+
+    prof.degree_list.resize(num_qubits);
+    std::iota(prof.degree_list.begin(), prof.degree_list.end(), 0);
+    std::stable_sort(prof.degree_list.begin(), prof.degree_list.end(),
+                     [&](Qubit a, Qubit b) {
+                         return prof.degrees[a] > prof.degrees[b];
+                     });
+    return prof;
+}
+
+double
+TemporalProfile::pairReuse() const
+{
+    std::set<std::pair<std::size_t, std::size_t>> seen;
+    std::size_t reused = 0, total = 0;
+    for (const TemporalWindow &w : windows) {
+        std::set<std::pair<std::size_t, std::size_t>> fresh;
+        for (std::size_t i = 0; i < num_qubits; ++i) {
+            for (std::size_t j = i + 1; j < num_qubits; ++j) {
+                std::size_t gates = w.strength(i, j);
+                if (gates == 0)
+                    continue;
+                total += gates;
+                if (seen.count({i, j}))
+                    reused += gates;
+                else
+                    fresh.insert({i, j});
+            }
+        }
+        seen.insert(fresh.begin(), fresh.end());
+    }
+    return total == 0 ? 0.0 : double(reused) / double(total);
+}
+
+TemporalProfile
+profileTemporal(const circuit::Circuit &circuit,
+                std::size_t num_windows)
+{
+    qpad_assert(num_windows >= 1, "need at least one window");
+    TemporalProfile prof;
+    prof.num_qubits = circuit.numQubits();
+
+    // Collect the two-qubit gates in program order.
+    std::vector<std::pair<Qubit, Qubit>> pairs;
+    for (const auto &g : circuit.gates())
+        if (g.isTwoQubit())
+            pairs.emplace_back(g.qubits[0], g.qubits[1]);
+
+    const std::size_t per_window =
+        std::max<std::size_t>(1, (pairs.size() + num_windows - 1) /
+                                     num_windows);
+    for (std::size_t start = 0; start < pairs.size();
+         start += per_window) {
+        TemporalWindow window;
+        window.begin = start;
+        window.end = std::min(pairs.size(), start + per_window);
+        window.strength = SymMatrix<uint32_t>(prof.num_qubits, 0);
+        for (std::size_t k = start; k < window.end; ++k) {
+            ++window.strength.at(pairs[k].first, pairs[k].second);
+            ++window.two_qubit_gates;
+        }
+        prof.windows.push_back(std::move(window));
+    }
+    if (prof.windows.empty()) {
+        TemporalWindow empty;
+        empty.strength = SymMatrix<uint32_t>(prof.num_qubits, 0);
+        prof.windows.push_back(std::move(empty));
+    }
+    return prof;
+}
+
+} // namespace qpad::profile

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Temporal program profiling (paper Section 6, "Improving Profiling
+ * Method"): the plain coupling strength matrix discards *when* two
+ * qubits interact. This extension slices the circuit into windows
+ * and keeps one strength matrix per window, enabling
+ *  - time-weighted aggregate profiles (early interactions matter
+ *    more to the initial mapping, so they get a higher weight), and
+ *  - interaction-locality statistics.
+ */
+
+#ifndef QPAD_PROFILE_TEMPORAL_HH
+#define QPAD_PROFILE_TEMPORAL_HH
+
+#include "profile/coupling.hh"
+
+namespace qpad::profile
+{
+
+/** Per-window coupling data. */
+struct TemporalWindow
+{
+    /** First and one-past-last gate index of the window. */
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    /** Two-qubit gate counts within the window. */
+    SymMatrix<uint32_t> strength;
+    std::size_t two_qubit_gates = 0;
+};
+
+/** Time-sliced profile. */
+struct TemporalProfile
+{
+    std::size_t num_qubits = 0;
+    std::vector<TemporalWindow> windows;
+
+    /**
+     * Collapse to a standard CouplingProfile where window w's gates
+     * are scaled by round(scale * decay^w): decay < 1 emphasizes
+     * early program phases; decay = 1 reproduces plain profiling
+     * (up to the integer scale factor).
+     */
+    CouplingProfile weighted(double decay, uint32_t scale = 16) const;
+
+    /**
+     * Fraction of two-qubit gates whose qubit pair already appeared
+     * in an earlier window (temporal re-use; 1.0 means the coupling
+     * set is static over time).
+     */
+    double pairReuse() const;
+};
+
+/**
+ * Profile a circuit into `num_windows` equal gate-count slices.
+ */
+TemporalProfile profileTemporal(const circuit::Circuit &circuit,
+                                std::size_t num_windows = 8);
+
+} // namespace qpad::profile
+
+#endif // QPAD_PROFILE_TEMPORAL_HH

@@ -1,0 +1,205 @@
+#include "revsynth/mct.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace qpad::revsynth
+{
+
+using circuit::Circuit;
+using circuit::Gate;
+using circuit::GateKind;
+using circuit::Qubit;
+
+namespace
+{
+
+/**
+ * Barenco Lemma 7.2: k-control NOT with k-2 dirty work wires.
+ * Emits 4(k-2) CCX gates for k >= 3 (and handles k == 2 directly).
+ */
+void
+emitLemma72(const std::vector<Qubit> &controls, Qubit target,
+            const std::vector<Qubit> &dirty, Circuit &out)
+{
+    const std::size_t k = controls.size();
+    if (k == 2) {
+        out.ccx(controls[0], controls[1], target);
+        return;
+    }
+    qpad_assert(k >= 3, "lemma 7.2 needs >= 2 controls");
+    qpad_assert(dirty.size() >= k - 2,
+                "lemma 7.2 needs ", k - 2, " dirty wires, got ",
+                dirty.size());
+
+    // Gate A couples the last control and work wire into the target;
+    // gates B_i ladder through the work wires; gate C feeds the first
+    // two controls into the bottom work wire. The sequence
+    //   A Bdown C Bup A Bdown C Bup
+    // flips the target by the product of all controls and restores
+    // every work wire.
+    auto emit_a = [&] { out.ccx(controls[k - 1], dirty[k - 3], target); };
+    auto emit_bdown = [&] {
+        for (std::size_t i = k - 2; i >= 2; --i)
+            out.ccx(controls[i], dirty[i - 2], dirty[i - 1]);
+    };
+    auto emit_bup = [&] {
+        for (std::size_t i = 2; i <= k - 2; ++i)
+            out.ccx(controls[i], dirty[i - 2], dirty[i - 1]);
+    };
+    auto emit_c = [&] { out.ccx(controls[0], controls[1], dirty[0]); };
+
+    for (int half = 0; half < 2; ++half) {
+        emit_a();
+        emit_bdown();
+        emit_c();
+        emit_bup();
+    }
+}
+
+void
+emitRec(const std::vector<Qubit> &controls, Qubit target,
+        const std::vector<Qubit> &free_wires, Circuit &out)
+{
+    const std::size_t k = controls.size();
+    switch (k) {
+      case 0:
+        out.x(target);
+        return;
+      case 1:
+        out.cx(controls[0], target);
+        return;
+      case 2:
+        out.ccx(controls[0], controls[1], target);
+        return;
+      default:
+        break;
+    }
+
+    if (free_wires.size() >= k - 2) {
+        emitLemma72(controls, target,
+                    {free_wires.begin(), free_wires.begin() + (k - 2)},
+                    out);
+        return;
+    }
+
+    // Lemma 7.3: route through one spare wire b. The split gates each
+    // see at least half the original controls as extra dirty wires,
+    // which is always enough for lemma 7.2 when k >= 3.
+    qpad_assert(!free_wires.empty(),
+                "MCT with ", k, " controls needs at least one free wire");
+    const Qubit b = free_wires[0];
+
+    const std::size_t m = (k + 1) / 2; // ceil(k/2)
+    std::vector<Qubit> first(controls.begin(), controls.begin() + m);
+    std::vector<Qubit> second(controls.begin() + m, controls.end());
+    second.push_back(b);
+
+    // Dirty pools: everything the sub-gate does not touch.
+    std::vector<Qubit> dirty_first(controls.begin() + m, controls.end());
+    dirty_first.push_back(target);
+    for (std::size_t i = 1; i < free_wires.size(); ++i)
+        dirty_first.push_back(free_wires[i]);
+
+    std::vector<Qubit> dirty_second(controls.begin(),
+                                    controls.begin() + m);
+    for (std::size_t i = 1; i < free_wires.size(); ++i)
+        dirty_second.push_back(free_wires[i]);
+
+    qpad_assert(dirty_first.size() >= first.size() - 2 &&
+                    dirty_second.size() >= second.size() - 2,
+                "lemma 7.3 split left too few dirty wires");
+
+    for (int half = 0; half < 2; ++half) {
+        emitLemma72(first, b, dirty_first, out);
+        emitLemma72(second, target, dirty_second, out);
+    }
+}
+
+} // namespace
+
+void
+emitMct(const MctGate &gate, const std::vector<Qubit> &free_wires,
+        Circuit &out)
+{
+#ifndef NDEBUG
+    for (Qubit w : free_wires) {
+        qpad_assert(w != gate.target, "free wire equals target");
+        qpad_assert(std::find(gate.controls.begin(), gate.controls.end(),
+                              w) == gate.controls.end(),
+                    "free wire collides with control");
+    }
+#endif
+    emitRec(gate.controls, gate.target, free_wires, out);
+}
+
+Circuit
+lowerMctNetwork(const MctNetwork &network, const std::string &name)
+{
+    Circuit out(network.num_qubits, network.num_qubits, name);
+    for (const MctGate &g : network.gates) {
+        std::vector<Qubit> free_wires;
+        for (Qubit q = 0; q < network.num_qubits; ++q) {
+            if (q == g.target)
+                continue;
+            if (std::find(g.controls.begin(), g.controls.end(), q) !=
+                g.controls.end())
+                continue;
+            free_wires.push_back(q);
+        }
+        emitMct(g, free_wires, out);
+    }
+    return out;
+}
+
+uint64_t
+simulateClassical(const Circuit &circuit, uint64_t input)
+{
+    uint64_t state = input;
+    for (const Gate &g : circuit.gates()) {
+        switch (g.kind) {
+          case GateKind::X:
+            state ^= uint64_t{1} << g.qubits[0];
+            break;
+          case GateKind::CX:
+            if (state >> g.qubits[0] & 1)
+                state ^= uint64_t{1} << g.qubits[1];
+            break;
+          case GateKind::CCX:
+            if ((state >> g.qubits[0] & 1) && (state >> g.qubits[1] & 1))
+                state ^= uint64_t{1} << g.qubits[2];
+            break;
+          case GateKind::SWAP: {
+            uint64_t a = state >> g.qubits[0] & 1;
+            uint64_t b = state >> g.qubits[1] & 1;
+            if (a != b)
+                state ^= (uint64_t{1} << g.qubits[0]) |
+                         (uint64_t{1} << g.qubits[1]);
+            break;
+          }
+          case GateKind::Barrier:
+            break;
+          default:
+            qpad_panic("simulateClassical: non-classical gate ",
+                       g.str());
+        }
+    }
+    return state;
+}
+
+uint64_t
+simulateMctNetwork(const MctNetwork &network, uint64_t input)
+{
+    uint64_t state = input;
+    for (const MctGate &g : network.gates) {
+        bool all = true;
+        for (Qubit c : g.controls)
+            all = all && (state >> c & 1);
+        if (all)
+            state ^= uint64_t{1} << g.target;
+    }
+    return state;
+}
+
+} // namespace qpad::revsynth

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Multi-controlled Toffoli (MCT) gates and their decomposition into
+ * the {X, CX, CCX} set using Barenco-style constructions.
+ *
+ * Two constructions are used, following Barenco et al.,
+ * "Elementary gates for quantum computation" (1995):
+ *  - Lemma 7.2: a k-control NOT with k-2 *borrowed* (dirty) work
+ *    wires costs 4(k-2) Toffolis and restores the work wires.
+ *  - Lemma 7.3: with only one spare wire, split the k controls into
+ *    two overlapping MCTs through that wire and recurse with 7.2.
+ */
+
+#ifndef QPAD_REVSYNTH_MCT_HH
+#define QPAD_REVSYNTH_MCT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/circuit.hh"
+
+namespace qpad::revsynth
+{
+
+/** A NOT on `target` controlled on all qubits in `controls`. */
+struct MctGate
+{
+    std::vector<circuit::Qubit> controls;
+    circuit::Qubit target;
+};
+
+/** A width-annotated list of MCT gates (plus implicit X for k=0). */
+struct MctNetwork
+{
+    std::size_t num_qubits = 0;
+    std::vector<MctGate> gates;
+};
+
+/**
+ * Emit gate's decomposition into `out` using only X/CX/CCX.
+ *
+ * @param free_wires wires guaranteed distinct from controls/target;
+ *        they may be in arbitrary states and are restored (dirty
+ *        ancilla semantics). At least one is required when the gate
+ *        has three or more controls and fewer than k-2 free wires
+ *        would otherwise be available.
+ */
+void emitMct(const MctGate &gate,
+             const std::vector<circuit::Qubit> &free_wires,
+             circuit::Circuit &out);
+
+/**
+ * Decompose a whole network into X/CX/CCX. Free wires for each gate
+ * are derived automatically from the network width.
+ */
+circuit::Circuit lowerMctNetwork(const MctNetwork &network,
+                                 const std::string &name = "");
+
+/**
+ * Classical (permutation) simulation of a circuit containing only
+ * X / CX / CCX / SWAP gates: maps an input basis state bitmask to
+ * the output bitmask. Used to verify decompositions exhaustively.
+ */
+uint64_t simulateClassical(const circuit::Circuit &circuit,
+                           uint64_t input);
+
+/** Classical simulation of an MCT network (reference semantics). */
+uint64_t simulateMctNetwork(const MctNetwork &network, uint64_t input);
+
+} // namespace qpad::revsynth
+
+#endif // QPAD_REVSYNTH_MCT_HH

@@ -1,0 +1,69 @@
+#include "revsynth/pprm.hh"
+
+#include <bit>
+
+#include "common/logging.hh"
+
+namespace qpad::revsynth
+{
+
+unsigned
+Pprm::maxDegree() const
+{
+    unsigned deg = 0;
+    for (uint64_t m : monomials)
+        deg = std::max(deg, unsigned(std::popcount(m)));
+    return deg;
+}
+
+bool
+Pprm::eval(uint64_t x) const
+{
+    bool acc = false;
+    for (uint64_t m : monomials) {
+        // The monomial fires iff all its variables are set in x.
+        if ((x & m) == m)
+            acc = !acc;
+    }
+    return acc;
+}
+
+Pprm
+computePprm(const TruthTable &table, unsigned output)
+{
+    const unsigned n = table.numInputs();
+    const std::size_t rows = std::size_t{1} << n;
+
+    std::vector<uint8_t> coeff(rows);
+    for (uint64_t x = 0; x < rows; ++x)
+        coeff[x] = table.output(x, output) ? 1 : 0;
+
+    // Moebius transform over GF(2): after processing bit i,
+    // coeff[mask] accumulates the XOR over all sub-assignments in
+    // dimension i. The fixed point is the ANF coefficient vector.
+    for (unsigned i = 0; i < n; ++i) {
+        const uint64_t bit = uint64_t{1} << i;
+        for (uint64_t mask = 0; mask < rows; ++mask)
+            if (mask & bit)
+                coeff[mask] ^= coeff[mask ^ bit];
+    }
+
+    Pprm result;
+    result.num_inputs = n;
+    for (uint64_t mask = 0; mask < rows; ++mask)
+        if (coeff[mask])
+            result.monomials.push_back(mask);
+    return result;
+}
+
+std::vector<Pprm>
+computeAllPprms(const TruthTable &table)
+{
+    std::vector<Pprm> out;
+    out.reserve(table.numOutputs());
+    for (unsigned j = 0; j < table.numOutputs(); ++j)
+        out.push_back(computePprm(table, j));
+    return out;
+}
+
+} // namespace qpad::revsynth

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Positive-polarity Reed-Muller (PPRM / ANF) expansion.
+ *
+ * Every Boolean function has a unique representation as an XOR of
+ * positive-literal product terms (its algebraic normal form). Each
+ * product term maps directly onto one multi-controlled Toffoli gate
+ * during synthesis, which is why the PPRM is the natural front end
+ * of the reversible synthesizer.
+ */
+
+#ifndef QPAD_REVSYNTH_PPRM_HH
+#define QPAD_REVSYNTH_PPRM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "revsynth/truth_table.hh"
+
+namespace qpad::revsynth
+{
+
+/**
+ * The PPRM of one output: a list of monomials, each a bit mask of
+ * the input variables it multiplies. Mask 0 is the constant-1 term.
+ */
+struct Pprm
+{
+    unsigned num_inputs = 0;
+    std::vector<uint64_t> monomials;
+
+    /** Largest monomial degree (popcount), 0 if empty. */
+    unsigned maxDegree() const;
+
+    /** Evaluate the XOR-of-products at input assignment x. */
+    bool eval(uint64_t x) const;
+};
+
+/**
+ * Compute the ANF coefficients of output j of a truth table via the
+ * GF(2) Moebius transform (in-place butterfly, O(n 2^n)).
+ */
+Pprm computePprm(const TruthTable &table, unsigned output);
+
+/** PPRMs of all outputs. */
+std::vector<Pprm> computeAllPprms(const TruthTable &table);
+
+} // namespace qpad::revsynth
+
+#endif // QPAD_REVSYNTH_PPRM_HH

@@ -1,0 +1,77 @@
+#include "revsynth/synth.hh"
+
+#include <algorithm>
+#include <bit>
+
+#include "circuit/decompose.hh"
+#include "common/logging.hh"
+#include "revsynth/pprm.hh"
+
+namespace qpad::revsynth
+{
+
+using circuit::Circuit;
+using circuit::Qubit;
+
+SynthResult
+synthesize(const TruthTable &table, const SynthOptions &options)
+{
+    const unsigned n = table.numInputs();
+    const unsigned m = table.numOutputs();
+
+    std::size_t width = options.total_qubits;
+    if (width == 0)
+        width = n + m;
+    if (width < n + m)
+        qpad_fatal("synthesize: width ", width, " cannot hold ", n,
+                   " inputs + ", m, " outputs");
+
+    SynthResult result;
+    result.num_inputs = n;
+    result.num_outputs = m;
+    result.network.num_qubits = width;
+
+    // One MCT per PPRM monomial, targeting the output's line. Gates
+    // are ordered by ascending degree so that cheap CX/CCX terms come
+    // first; order is semantically irrelevant because targets are
+    // never controls.
+    std::vector<MctGate> gates;
+    unsigned max_degree = 0;
+    for (unsigned j = 0; j < m; ++j) {
+        Pprm pprm = computePprm(table, j);
+        max_degree = std::max(max_degree, pprm.maxDegree());
+        for (uint64_t mono : pprm.monomials) {
+            MctGate g;
+            g.target = static_cast<Qubit>(n + j);
+            for (unsigned v = 0; v < n; ++v)
+                if (mono >> v & 1)
+                    g.controls.push_back(static_cast<Qubit>(v));
+            gates.push_back(std::move(g));
+        }
+    }
+    std::stable_sort(gates.begin(), gates.end(),
+                     [](const MctGate &a, const MctGate &b) {
+                         return a.controls.size() < b.controls.size();
+                     });
+    result.network.gates = std::move(gates);
+
+    if (max_degree >= 3 && width < std::size_t{max_degree} + 2)
+        qpad_fatal("synthesize: width ", width, " too small for a ",
+                   "degree-", max_degree, " monomial (needs ",
+                   max_degree + 2, " lines)");
+
+    Circuit lowered = lowerMctNetwork(result.network, table.name());
+    if (options.lower_to_basis)
+        lowered = circuit::decompose(lowered);
+
+    Circuit circ(width, m, table.name());
+    circ.append(lowered);
+    if (options.add_measurements) {
+        for (unsigned j = 0; j < m; ++j)
+            circ.measure(static_cast<Qubit>(n + j), j);
+    }
+    result.circuit = std::move(circ);
+    return result;
+}
+
+} // namespace qpad::revsynth

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * PPRM-based reversible synthesis.
+ *
+ * Given an n-input m-output truth table, build the reversible
+ * embedding used throughout the reversible-logic literature (and by
+ * the RevLib benchmarks the paper evaluates): input lines pass
+ * through unchanged, and each output line y_j (initialized |0>)
+ * accumulates f_j(x) as an XOR of multi-controlled Toffolis, one per
+ * PPRM monomial. Extra ancilla lines widen the circuit (matching
+ * published benchmark widths) and serve as borrowed work wires for
+ * the Toffoli decomposition.
+ */
+
+#ifndef QPAD_REVSYNTH_SYNTH_HH
+#define QPAD_REVSYNTH_SYNTH_HH
+
+#include "circuit/circuit.hh"
+#include "revsynth/mct.hh"
+#include "revsynth/truth_table.hh"
+
+namespace qpad::revsynth
+{
+
+/** Options controlling the synthesized embedding. */
+struct SynthOptions
+{
+    /** Total circuit width; 0 means inputs + outputs exactly. */
+    std::size_t total_qubits = 0;
+    /** Append measurement of the output lines. */
+    bool add_measurements = true;
+    /** Lower all the way to the {1q, CX} basis. */
+    bool lower_to_basis = true;
+};
+
+/** Synthesis outcome: the abstract MCT network and its circuit. */
+struct SynthResult
+{
+    MctNetwork network;
+    circuit::Circuit circuit;
+    std::size_t num_inputs = 0;
+    std::size_t num_outputs = 0;
+
+    /** Line index carrying output j. */
+    circuit::Qubit outputLine(unsigned j) const
+    {
+        return static_cast<circuit::Qubit>(num_inputs + j);
+    }
+};
+
+/**
+ * Synthesize the reversible embedding of a truth table.
+ *
+ * @throws via qpad_fatal when total_qubits is too small to hold
+ *         inputs + outputs, or too small for the required Toffoli
+ *         decompositions (a full-degree monomial needs one spare
+ *         wire beyond its controls and target).
+ */
+SynthResult synthesize(const TruthTable &table,
+                       const SynthOptions &options = {});
+
+} // namespace qpad::revsynth
+
+#endif // QPAD_REVSYNTH_SYNTH_HH

@@ -1,0 +1,74 @@
+#include "revsynth/truth_table.hh"
+
+#include "common/logging.hh"
+
+namespace qpad::revsynth
+{
+
+TruthTable::TruthTable(unsigned num_inputs, unsigned num_outputs,
+                       std::string name)
+    : num_inputs_(num_inputs), num_outputs_(num_outputs),
+      name_(std::move(name)),
+      rows_(std::size_t{1} << num_inputs, 0)
+{
+    qpad_assert(num_inputs <= 24, "truth table too wide: ", num_inputs);
+    qpad_assert(num_outputs >= 1 && num_outputs <= 64,
+                "bad output count: ", num_outputs);
+}
+
+TruthTable
+TruthTable::fromFunction(unsigned num_inputs, unsigned num_outputs,
+                         const std::function<uint64_t(uint64_t)> &fn,
+                         std::string name)
+{
+    TruthTable tt(num_inputs, num_outputs, std::move(name));
+    const uint64_t mask = num_outputs == 64
+        ? ~uint64_t{0}
+        : (uint64_t{1} << num_outputs) - 1;
+    for (uint64_t x = 0; x < tt.rows_.size(); ++x)
+        tt.rows_[x] = fn(x) & mask;
+    return tt;
+}
+
+uint64_t
+TruthTable::row(uint64_t x) const
+{
+    qpad_assert(x < rows_.size(), "row out of range");
+    return rows_[x];
+}
+
+void
+TruthTable::setRow(uint64_t x, uint64_t outputs)
+{
+    qpad_assert(x < rows_.size(), "row out of range");
+    rows_[x] = outputs;
+}
+
+bool
+TruthTable::output(uint64_t x, unsigned j) const
+{
+    qpad_assert(j < num_outputs_, "output index out of range");
+    return (row(x) >> j) & 1;
+}
+
+void
+TruthTable::setOutput(uint64_t x, unsigned j, bool value)
+{
+    qpad_assert(j < num_outputs_, "output index out of range");
+    if (value)
+        rows_[x] |= uint64_t{1} << j;
+    else
+        rows_[x] &= ~(uint64_t{1} << j);
+}
+
+std::size_t
+TruthTable::onSetSize(unsigned j) const
+{
+    std::size_t count = 0;
+    for (uint64_t x = 0; x < rows_.size(); ++x)
+        if (output(x, j))
+            ++count;
+    return count;
+}
+
+} // namespace qpad::revsynth

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Boolean multi-output truth tables.
+ *
+ * A TruthTable describes an n-input, m-output Boolean function; it is
+ * the specification format the reversible synthesizer consumes. The
+ * paper's RevLib benchmarks are reversible embeddings of such
+ * functions (inputs preserved, outputs XOR-ed onto ancilla lines).
+ */
+
+#ifndef QPAD_REVSYNTH_TRUTH_TABLE_HH
+#define QPAD_REVSYNTH_TRUTH_TABLE_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace qpad::revsynth
+{
+
+/**
+ * Dense truth table: one 64-bit output word per input assignment.
+ * Supports up to 24 inputs and 64 outputs.
+ */
+class TruthTable
+{
+  public:
+    TruthTable() = default;
+
+    /** All-zero function with the given arity. */
+    TruthTable(unsigned num_inputs, unsigned num_outputs,
+               std::string name = "");
+
+    /** Build row-by-row from a function of the input assignment. */
+    static TruthTable
+    fromFunction(unsigned num_inputs, unsigned num_outputs,
+                 const std::function<uint64_t(uint64_t)> &fn,
+                 std::string name = "");
+
+    unsigned numInputs() const { return num_inputs_; }
+    unsigned numOutputs() const { return num_outputs_; }
+    const std::string &name() const { return name_; }
+    std::size_t numRows() const { return rows_.size(); }
+
+    /** Full output word for input assignment x. */
+    uint64_t row(uint64_t x) const;
+    void setRow(uint64_t x, uint64_t outputs);
+
+    /** Single output bit j for input assignment x. */
+    bool output(uint64_t x, unsigned j) const;
+    void setOutput(uint64_t x, unsigned j, bool value);
+
+    /** Count of input rows where output j is one. */
+    std::size_t onSetSize(unsigned j) const;
+
+  private:
+    unsigned num_inputs_ = 0;
+    unsigned num_outputs_ = 0;
+    std::string name_;
+    std::vector<uint64_t> rows_;
+};
+
+} // namespace qpad::revsynth
+
+#endif // QPAD_REVSYNTH_TRUTH_TABLE_HH

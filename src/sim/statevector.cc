@@ -1,0 +1,322 @@
+#include "sim/statevector.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace qpad::sim
+{
+
+using circuit::Circuit;
+using circuit::Gate;
+using circuit::GateKind;
+using circuit::Qubit;
+
+namespace
+{
+
+constexpr Amplitude kI{0.0, 1.0};
+
+/** 2x2 matrix for a single-qubit gate kind. */
+void
+matrixFor(const Gate &g, Amplitude m[2][2])
+{
+    auto set = [&](Amplitude a, Amplitude b, Amplitude c, Amplitude d) {
+        m[0][0] = a;
+        m[0][1] = b;
+        m[1][0] = c;
+        m[1][1] = d;
+    };
+    const double inv_sqrt2 = 1.0 / std::sqrt(2.0);
+    switch (g.kind) {
+      case GateKind::I:
+        set(1, 0, 0, 1);
+        return;
+      case GateKind::X:
+        set(0, 1, 1, 0);
+        return;
+      case GateKind::Y:
+        set(0, -kI, kI, 0);
+        return;
+      case GateKind::Z:
+        set(1, 0, 0, -1);
+        return;
+      case GateKind::H:
+        set(inv_sqrt2, inv_sqrt2, inv_sqrt2, -inv_sqrt2);
+        return;
+      case GateKind::S:
+        set(1, 0, 0, kI);
+        return;
+      case GateKind::Sdg:
+        set(1, 0, 0, -kI);
+        return;
+      case GateKind::T:
+        set(1, 0, 0, std::exp(kI * (M_PI / 4)));
+        return;
+      case GateKind::Tdg:
+        set(1, 0, 0, std::exp(-kI * (M_PI / 4)));
+        return;
+      case GateKind::SX:
+        set(Amplitude(0.5, 0.5), Amplitude(0.5, -0.5),
+            Amplitude(0.5, -0.5), Amplitude(0.5, 0.5));
+        return;
+      case GateKind::SXdg:
+        set(Amplitude(0.5, -0.5), Amplitude(0.5, 0.5),
+            Amplitude(0.5, 0.5), Amplitude(0.5, -0.5));
+        return;
+      case GateKind::RX: {
+        double t = g.params[0] / 2;
+        set(std::cos(t), -kI * std::sin(t), -kI * std::sin(t),
+            std::cos(t));
+        return;
+      }
+      case GateKind::RY: {
+        double t = g.params[0] / 2;
+        set(std::cos(t), -std::sin(t), std::sin(t), std::cos(t));
+        return;
+      }
+      case GateKind::RZ: {
+        double t = g.params[0] / 2;
+        set(std::exp(-kI * t), 0, 0, std::exp(kI * t));
+        return;
+      }
+      case GateKind::P:
+      case GateKind::U1:
+        set(1, 0, 0, std::exp(kI * g.params[0]));
+        return;
+      case GateKind::U2: {
+        double phi = g.params[0], lam = g.params[1];
+        set(inv_sqrt2, -std::exp(kI * lam) * inv_sqrt2,
+            std::exp(kI * phi) * inv_sqrt2,
+            std::exp(kI * (phi + lam)) * inv_sqrt2);
+        return;
+      }
+      case GateKind::U3: {
+        double theta = g.params[0] / 2;
+        double phi = g.params[1], lam = g.params[2];
+        set(std::cos(theta), -std::exp(kI * lam) * std::sin(theta),
+            std::exp(kI * phi) * std::sin(theta),
+            std::exp(kI * (phi + lam)) * std::cos(theta));
+        return;
+      }
+      default:
+        qpad_panic("matrixFor: not a single-qubit unitary: ",
+                   g.str());
+    }
+}
+
+} // namespace
+
+StateVector::StateVector(std::size_t num_qubits)
+    : num_qubits_(num_qubits),
+      amps_(std::size_t{1} << num_qubits, Amplitude{0.0, 0.0})
+{
+    qpad_assert(num_qubits <= 26, "state vector too large");
+    amps_[0] = 1.0;
+}
+
+StateVector
+StateVector::basis(std::size_t num_qubits, uint64_t bits)
+{
+    StateVector sv(num_qubits);
+    sv.amps_[0] = 0.0;
+    qpad_assert(bits < sv.amps_.size(), "basis state out of range");
+    sv.amps_[bits] = 1.0;
+    return sv;
+}
+
+StateVector
+StateVector::random(std::size_t num_qubits, uint64_t seed)
+{
+    StateVector sv(num_qubits);
+    Rng rng(seed);
+    double norm2 = 0.0;
+    for (auto &a : sv.amps_) {
+        a = Amplitude(rng.gaussian(), rng.gaussian());
+        norm2 += std::norm(a);
+    }
+    double scale = 1.0 / std::sqrt(norm2);
+    for (auto &a : sv.amps_)
+        a *= scale;
+    return sv;
+}
+
+Amplitude
+StateVector::amp(uint64_t basis_state) const
+{
+    qpad_assert(basis_state < amps_.size(), "basis state out of range");
+    return amps_[basis_state];
+}
+
+void
+StateVector::apply1q(Qubit q, const Amplitude m[2][2])
+{
+    const uint64_t bit = uint64_t{1} << q;
+    for (uint64_t s = 0; s < amps_.size(); ++s) {
+        if (s & bit)
+            continue;
+        Amplitude a0 = amps_[s];
+        Amplitude a1 = amps_[s | bit];
+        amps_[s] = m[0][0] * a0 + m[0][1] * a1;
+        amps_[s | bit] = m[1][0] * a0 + m[1][1] * a1;
+    }
+}
+
+void
+StateVector::applyControlled1q(const std::vector<Qubit> &controls,
+                               Qubit target, const Amplitude m[2][2])
+{
+    uint64_t cmask = 0;
+    for (Qubit c : controls)
+        cmask |= uint64_t{1} << c;
+    const uint64_t bit = uint64_t{1} << target;
+    for (uint64_t s = 0; s < amps_.size(); ++s) {
+        if ((s & bit) || (s & cmask) != cmask)
+            continue;
+        Amplitude a0 = amps_[s];
+        Amplitude a1 = amps_[s | bit];
+        amps_[s] = m[0][0] * a0 + m[0][1] * a1;
+        amps_[s | bit] = m[1][0] * a0 + m[1][1] * a1;
+    }
+}
+
+void
+StateVector::applySwap(Qubit a, Qubit b)
+{
+    const uint64_t ba = uint64_t{1} << a;
+    const uint64_t bb = uint64_t{1} << b;
+    for (uint64_t s = 0; s < amps_.size(); ++s)
+        if ((s & ba) && !(s & bb))
+            std::swap(amps_[s], amps_[(s ^ ba) | bb]);
+}
+
+void
+StateVector::apply(const Gate &g)
+{
+    static const Amplitude x_matrix[2][2] = {{0, 1}, {1, 0}};
+    switch (g.kind) {
+      case GateKind::Barrier:
+        return;
+      case GateKind::Measure:
+      case GateKind::Reset:
+        qpad_panic("StateVector::apply: non-unitary gate ", g.str());
+      case GateKind::CX:
+        applyControlled1q({g.qubits[0]}, g.qubits[1], x_matrix);
+        return;
+      case GateKind::CZ: {
+        const Amplitude z_matrix[2][2] = {{1, 0}, {0, -1}};
+        applyControlled1q({g.qubits[0]}, g.qubits[1], z_matrix);
+        return;
+      }
+      case GateKind::CP: {
+        const Amplitude p_matrix[2][2] = {
+            {1, 0}, {0, std::exp(kI * g.params[0])}};
+        applyControlled1q({g.qubits[0]}, g.qubits[1], p_matrix);
+        return;
+      }
+      case GateKind::CRZ: {
+        double t = g.params[0] / 2;
+        const Amplitude rz_matrix[2][2] = {
+            {std::exp(-kI * t), 0}, {0, std::exp(kI * t)}};
+        applyControlled1q({g.qubits[0]}, g.qubits[1], rz_matrix);
+        return;
+      }
+      case GateKind::SWAP:
+        applySwap(g.qubits[0], g.qubits[1]);
+        return;
+      case GateKind::RZZ: {
+        // diag(e^{-it/2}, e^{it/2}, e^{it/2}, e^{-it/2}).
+        double t = g.params[0] / 2;
+        const uint64_t ba = uint64_t{1} << g.qubits[0];
+        const uint64_t bb = uint64_t{1} << g.qubits[1];
+        for (uint64_t s = 0; s < amps_.size(); ++s) {
+            bool parity = bool(s & ba) != bool(s & bb);
+            amps_[s] *= std::exp((parity ? kI : -kI) * t);
+        }
+        return;
+      }
+      case GateKind::CCX:
+        applyControlled1q({g.qubits[0], g.qubits[1]}, g.qubits[2],
+                          x_matrix);
+        return;
+      case GateKind::CSWAP: {
+        // Swap targets iff the control is set.
+        const uint64_t bc = uint64_t{1} << g.qubits[0];
+        const uint64_t ba = uint64_t{1} << g.qubits[1];
+        const uint64_t bb = uint64_t{1} << g.qubits[2];
+        for (uint64_t s = 0; s < amps_.size(); ++s)
+            if ((s & bc) && (s & ba) && !(s & bb))
+                std::swap(amps_[s], amps_[(s ^ ba) | bb]);
+        return;
+      }
+      default: {
+        Amplitude m[2][2];
+        matrixFor(g, m);
+        apply1q(g.qubits[0], m);
+        return;
+      }
+    }
+}
+
+void
+StateVector::applyCircuit(const Circuit &circuit,
+                          bool skip_measurements)
+{
+    qpad_assert(circuit.numQubits() <= num_qubits_,
+                "circuit wider than state vector");
+    for (const Gate &g : circuit.gates()) {
+        if (g.kind == GateKind::Measure && skip_measurements)
+            continue;
+        apply(g);
+    }
+}
+
+double
+StateVector::probabilityOne(Qubit q) const
+{
+    const uint64_t bit = uint64_t{1} << q;
+    double p = 0.0;
+    for (uint64_t s = 0; s < amps_.size(); ++s)
+        if (s & bit)
+            p += std::norm(amps_[s]);
+    return p;
+}
+
+double
+StateVector::fidelity(const StateVector &other) const
+{
+    qpad_assert(other.amps_.size() == amps_.size(),
+                "fidelity of mismatched widths");
+    Amplitude overlap{0.0, 0.0};
+    for (uint64_t s = 0; s < amps_.size(); ++s)
+        overlap += std::conj(amps_[s]) * other.amps_[s];
+    return std::norm(overlap);
+}
+
+double
+StateVector::norm() const
+{
+    double n = 0.0;
+    for (const auto &a : amps_)
+        n += std::norm(a);
+    return n;
+}
+
+StateVector
+StateVector::permuted(const std::vector<uint32_t> &perm) const
+{
+    qpad_assert(perm.size() == num_qubits_, "bad permutation size");
+    StateVector out(num_qubits_);
+    out.amps_.assign(amps_.size(), Amplitude{0.0, 0.0});
+    for (uint64_t s = 0; s < amps_.size(); ++s) {
+        uint64_t t = 0;
+        for (std::size_t q = 0; q < num_qubits_; ++q)
+            if (s >> q & 1)
+                t |= uint64_t{1} << perm[q];
+        out.amps_[t] = amps_[s];
+    }
+    return out;
+}
+
+} // namespace qpad::sim

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Dense state-vector simulator.
+ *
+ * Used as the ground-truth oracle in the test suite: composite-gate
+ * lowering, the reversible synthesizer's T-gate Toffoli networks and
+ * the SABRE mapper are all checked for *quantum* equivalence (up to
+ * global phase and the mapper's qubit relabeling), not just for the
+ * classical permutation semantics. Practical up to ~20 qubits.
+ */
+
+#ifndef QPAD_SIM_STATEVECTOR_HH
+#define QPAD_SIM_STATEVECTOR_HH
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+#include "circuit/circuit.hh"
+
+namespace qpad::sim
+{
+
+using Amplitude = std::complex<double>;
+
+/** 2^n complex amplitudes over n qubits (qubit 0 = LSB). */
+class StateVector
+{
+  public:
+    /** |0...0> over n qubits. */
+    explicit StateVector(std::size_t num_qubits);
+
+    /** Computational basis state |bits>. */
+    static StateVector basis(std::size_t num_qubits, uint64_t bits);
+
+    /** Haar-ish random normalized state (deterministic by seed). */
+    static StateVector random(std::size_t num_qubits, uint64_t seed);
+
+    std::size_t numQubits() const { return num_qubits_; }
+    std::size_t size() const { return amps_.size(); }
+
+    Amplitude amp(uint64_t basis_state) const;
+
+    /** Apply one unitary gate (Measure/Reset are fatal; Barrier is
+     * a no-op). */
+    void apply(const circuit::Gate &gate);
+
+    /**
+     * Apply a circuit's unitary part. Measurements are skipped when
+     * skip_measurements is true and fatal otherwise.
+     */
+    void applyCircuit(const circuit::Circuit &circuit,
+                      bool skip_measurements = true);
+
+    /** Probability of measuring qubit q as 1. */
+    double probabilityOne(circuit::Qubit q) const;
+
+    /** |<this|other>|^2 — 1.0 means equal up to global phase. */
+    double fidelity(const StateVector &other) const;
+
+    /** Squared norm (should stay 1 within numerical error). */
+    double norm() const;
+
+    /**
+     * Relabeled copy: qubit q of *this* becomes qubit perm[q] of the
+     * result. perm must be a permutation of [0, numQubits).
+     */
+    StateVector permuted(const std::vector<uint32_t> &perm) const;
+
+  private:
+    std::size_t num_qubits_;
+    std::vector<Amplitude> amps_;
+
+    void apply1q(circuit::Qubit q, const Amplitude m[2][2]);
+    void applyControlled1q(const std::vector<circuit::Qubit> &controls,
+                           circuit::Qubit target,
+                           const Amplitude m[2][2]);
+    void applySwap(circuit::Qubit a, circuit::Qubit b);
+};
+
+} // namespace qpad::sim
+
+#endif // QPAD_SIM_STATEVECTOR_HH

@@ -1,0 +1,116 @@
+#include "yield/collision.hh"
+
+#include <cmath>
+
+namespace qpad::yield
+{
+
+using arch::PhysQubit;
+
+CollisionChecker::CollisionChecker(const arch::Architecture &arch,
+                                   const CollisionModel &model)
+    : model_(model)
+{
+    for (auto [a, b] : arch.edges())
+        pairs_.push_back({a, b});
+    const auto &adj = arch.adjacency();
+    for (PhysQubit j = 0; j < arch.numQubits(); ++j) {
+        const auto &neighbors = adj[j];
+        for (std::size_t x = 0; x < neighbors.size(); ++x)
+            for (std::size_t y = x + 1; y < neighbors.size(); ++y)
+                triples_.push_back({j, neighbors[x], neighbors[y]});
+    }
+}
+
+namespace
+{
+
+inline bool
+near(double value, double target, double thr)
+{
+    return std::fabs(value - target) < thr;
+}
+
+} // namespace
+
+bool
+pairCollides(const CollisionModel &model, double fa, double fb)
+{
+    const double d = model.delta;
+    // Condition 1 (symmetric).
+    if (near(fa, fb, model.thr1))
+        return true;
+    // Conditions 2/3/4 in both orientations (either qubit may act as
+    // the cross-resonance control).
+    if (near(fa, fb - d / 2, model.thr2) ||
+        near(fb, fa - d / 2, model.thr2))
+        return true;
+    if (near(fa, fb - d, model.thr3) || near(fb, fa - d, model.thr3))
+        return true;
+    if (fa > fb - d || fb > fa - d)
+        return true;
+    return false;
+}
+
+bool
+tripleCollides(const CollisionModel &model, double fj, double fk,
+               double fi)
+{
+    const double d = model.delta;
+    // Condition 5 (symmetric in i, k).
+    if (near(fi, fk, model.thr5))
+        return true;
+    // Condition 6, both orientations.
+    if (near(fi, fk - d, model.thr6) || near(fk, fi - d, model.thr6))
+        return true;
+    // Condition 7 (symmetric in i, k).
+    if (near(2 * fj + d, fk + fi, model.thr7))
+        return true;
+    return false;
+}
+
+bool
+CollisionChecker::anyCollision(const std::vector<double> &freqs) const
+{
+    for (const PairTerm &p : pairs_)
+        if (pairCollides(model_, freqs[p.a], freqs[p.b]))
+            return true;
+    for (const TripleTerm &t : triples_)
+        if (tripleCollides(model_, freqs[t.j], freqs[t.k], freqs[t.i]))
+            return true;
+    return false;
+}
+
+ConditionCounts
+CollisionChecker::countCollisions(const std::vector<double> &freqs) const
+{
+    ConditionCounts counts{};
+    const CollisionModel &model = model_;
+    const double d = model.delta;
+    for (const PairTerm &p : pairs_) {
+        double fa = freqs[p.a], fb = freqs[p.b];
+        if (near(fa, fb, model.thr1))
+            ++counts[1];
+        if (near(fa, fb - d / 2, model.thr2) ||
+            near(fb, fa - d / 2, model.thr2))
+            ++counts[2];
+        if (near(fa, fb - d, model.thr3) ||
+            near(fb, fa - d, model.thr3))
+            ++counts[3];
+        if (fa > fb - d || fb > fa - d)
+            ++counts[4];
+    }
+    for (const TripleTerm &t : triples_) {
+        double fj = freqs[t.j], fk = freqs[t.k], fi = freqs[t.i];
+        if (near(fi, fk, model.thr5))
+            ++counts[5];
+        if (near(fi, fk - d, model.thr6) ||
+            near(fk, fi - d, model.thr6))
+            ++counts[6];
+        if (near(2 * fj + d, fk + fi, model.thr7))
+            ++counts[7];
+    }
+    return counts;
+}
+
+} // namespace qpad::yield

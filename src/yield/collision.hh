@@ -1,0 +1,93 @@
+/**
+ * @file
+ * IBM's seven frequency-collision conditions (paper Figure 3).
+ *
+ * Conditions 1-4 constrain the two post-fabrication frequencies of
+ * every connected qubit pair; conditions 5-7 constrain every triple
+ * (k, i both connected to j). The checker pre-extracts those terms
+ * from an Architecture's coupling graph so the Monte Carlo loop is
+ * a flat scan over primitive comparisons.
+ */
+
+#ifndef QPAD_YIELD_COLLISION_HH
+#define QPAD_YIELD_COLLISION_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "arch/architecture.hh"
+
+namespace qpad::yield
+{
+
+/** Thresholds of the seven collision conditions (GHz). */
+struct CollisionModel
+{
+    double delta = arch::DeviceConstants::anharmonicity_ghz;
+    double thr1 = 0.017; ///< f_j ~ f_k
+    double thr2 = 0.004; ///< f_j ~ f_k - delta/2
+    double thr3 = 0.025; ///< f_j ~ f_k - delta
+    // Condition 4 (f_j > f_k - delta) has no threshold.
+    double thr5 = 0.017; ///< f_i ~ f_k          (shared neighbour j)
+    double thr6 = 0.025; ///< f_i ~ f_k - delta  (shared neighbour j)
+    double thr7 = 0.017; ///< 2 f_j + delta ~ f_k + f_i
+};
+
+/** Per-condition hit counters (index 1..7; index 0 unused). */
+using ConditionCounts = std::array<std::size_t, 8>;
+
+/** Conditions 1-4 on a connected pair (both orientations checked). */
+bool pairCollides(const CollisionModel &model, double fa, double fb);
+
+/** Conditions 5-7 on a triple with shared neighbour j. */
+bool tripleCollides(const CollisionModel &model, double fj, double fk,
+                    double fi);
+
+/**
+ * Collision predicate specialized to one architecture's coupling
+ * graph. Frequencies are passed per call so one checker serves the
+ * whole Monte Carlo.
+ */
+class CollisionChecker
+{
+  public:
+    CollisionChecker() = default;
+    explicit CollisionChecker(const arch::Architecture &arch,
+                              const CollisionModel &model = {});
+
+    /** Connected pair terms (conditions 1-4). */
+    struct PairTerm
+    {
+        arch::PhysQubit a, b;
+    };
+
+    /** Triple terms: k and i both neighbours of j (conditions 5-7). */
+    struct TripleTerm
+    {
+        arch::PhysQubit j, k, i;
+    };
+
+    const std::vector<PairTerm> &pairs() const { return pairs_; }
+    const std::vector<TripleTerm> &triples() const { return triples_; }
+    const CollisionModel &model() const { return model_; }
+
+    /** True if any condition fires for the given frequencies. */
+    bool anyCollision(const std::vector<double> &freqs) const;
+
+    /**
+     * Count how often each condition fires (for diagnostics); more
+     * expensive than anyCollision, which short-circuits.
+     */
+    ConditionCounts countCollisions(const std::vector<double> &freqs)
+        const;
+
+  private:
+    CollisionModel model_;
+    std::vector<PairTerm> pairs_;
+    std::vector<TripleTerm> triples_;
+};
+
+} // namespace qpad::yield
+
+#endif // QPAD_YIELD_COLLISION_HH

@@ -1,0 +1,110 @@
+#include "yield/yield_sim.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace qpad::yield
+{
+
+using arch::PhysQubit;
+
+double
+YieldResult::stderrEstimate() const
+{
+    if (trials == 0)
+        return 0.0;
+    return std::sqrt(yield * (1.0 - yield) / double(trials));
+}
+
+YieldResult
+estimateYield(const CollisionChecker &checker,
+              const std::vector<double> &pre_fab_freqs,
+              const YieldOptions &options)
+{
+    for (double f : pre_fab_freqs)
+        qpad_assert(f > 0.0, "unassigned frequency in yield simulation");
+
+    Rng rng(options.seed);
+    YieldResult result;
+    result.trials = options.trials;
+
+    std::vector<double> post(pre_fab_freqs.size());
+    for (std::size_t t = 0; t < options.trials; ++t) {
+        for (std::size_t q = 0; q < post.size(); ++q)
+            post[q] = rng.gaussian(pre_fab_freqs[q], options.sigma_ghz);
+        if (options.collect_condition_stats) {
+            ConditionCounts counts = checker.countCollisions(post);
+            bool failed = false;
+            for (int c = 1; c <= 7; ++c) {
+                if (counts[c] > 0) {
+                    ++result.condition_trials[c];
+                    failed = true;
+                }
+            }
+            if (!failed)
+                ++result.successes;
+        } else {
+            if (!checker.anyCollision(post))
+                ++result.successes;
+        }
+    }
+    result.yield = double(result.successes) / double(options.trials);
+    return result;
+}
+
+YieldResult
+estimateYield(const arch::Architecture &arch, const YieldOptions &options)
+{
+    qpad_assert(arch.frequenciesAssigned(),
+                "architecture '", arch.name(),
+                "' has unassigned frequencies");
+    CollisionChecker checker(arch, options.model);
+    return estimateYield(checker, arch.frequencies(), options);
+}
+
+LocalYieldSimulator::LocalYieldSimulator(
+    std::vector<CollisionChecker::PairTerm> pairs,
+    std::vector<CollisionChecker::TripleTerm> triples,
+    const CollisionModel &model, std::vector<PhysQubit> involved)
+    : pairs_(std::move(pairs)), triples_(std::move(triples)),
+      involved_(std::move(involved)), model_(model)
+{
+}
+
+double
+LocalYieldSimulator::simulate(const std::vector<double> &freqs,
+                              double sigma_ghz, std::size_t trials,
+                              Rng &rng) const
+{
+    if (pairs_.empty() && triples_.empty())
+        return 1.0;
+
+    std::size_t successes = 0;
+    std::vector<double> post(freqs);
+    for (std::size_t t = 0; t < trials; ++t) {
+        for (PhysQubit q : involved_)
+            post[q] = rng.gaussian(freqs[q], sigma_ghz);
+        bool failed = false;
+        for (const auto &p : pairs_) {
+            if (pairCollides(model_, post[p.a], post[p.b])) {
+                failed = true;
+                break;
+            }
+        }
+        if (!failed) {
+            for (const auto &tr : triples_) {
+                if (tripleCollides(model_, post[tr.j], post[tr.k],
+                                   post[tr.i])) {
+                    failed = true;
+                    break;
+                }
+            }
+        }
+        if (!failed)
+            ++successes;
+    }
+    return double(successes) / double(trials);
+}
+
+} // namespace qpad::yield

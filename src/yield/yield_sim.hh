@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Monte Carlo yield simulation (paper Section 4.3.1).
+ *
+ * A fabrication attempt adds Gaussian noise N(0, sigma) to every
+ * pre-fabrication frequency; the attempt succeeds iff no collision
+ * condition fires on the post-fabrication frequencies. Yield rate =
+ * successes / trials.
+ */
+
+#ifndef QPAD_YIELD_YIELD_SIM_HH
+#define QPAD_YIELD_YIELD_SIM_HH
+
+#include <cstdint>
+
+#include "arch/architecture.hh"
+#include "common/rng.hh"
+#include "yield/collision.hh"
+
+namespace qpad::yield
+{
+
+/** Simulation configuration. */
+struct YieldOptions
+{
+    /** Monte Carlo fabrication attempts (paper: 10,000). */
+    std::size_t trials = 10000;
+    /** Fabrication precision sigma in GHz (paper: 30 MHz). */
+    double sigma_ghz = arch::DeviceConstants::default_sigma_ghz;
+    /** RNG seed; equal seeds reproduce results exactly. */
+    uint64_t seed = 1;
+    /** Also accumulate per-condition failure statistics (slower). */
+    bool collect_condition_stats = false;
+    /** Collision thresholds. */
+    CollisionModel model = {};
+};
+
+/** Simulation outcome. */
+struct YieldResult
+{
+    double yield = 0.0;
+    std::size_t successes = 0;
+    std::size_t trials = 0;
+    /** Trials in which condition c fired at least once (1..7). */
+    ConditionCounts condition_trials{};
+
+    /** Standard error of the yield estimate (binomial). */
+    double stderrEstimate() const;
+};
+
+/**
+ * Estimate the yield rate of an architecture. All frequencies must
+ * be assigned.
+ */
+YieldResult estimateYield(const arch::Architecture &arch,
+                          const YieldOptions &options = {});
+
+/** Same, reusing a prebuilt checker (hot path of Algorithm 3). */
+YieldResult estimateYield(const CollisionChecker &checker,
+                          const std::vector<double> &pre_fab_freqs,
+                          const YieldOptions &options = {});
+
+/**
+ * Local yield estimator used by the frequency allocator: only the
+ * supplied pair/triple terms are checked, and only the frequencies
+ * of qubits appearing in those terms are perturbed.
+ */
+class LocalYieldSimulator
+{
+  public:
+    LocalYieldSimulator(std::vector<CollisionChecker::PairTerm> pairs,
+                        std::vector<CollisionChecker::TripleTerm> triples,
+                        const CollisionModel &model,
+                        std::vector<arch::PhysQubit> involved);
+
+    /**
+     * Fraction of trials with no local collision, given the current
+     * pre-fabrication frequencies.
+     */
+    double simulate(const std::vector<double> &freqs, double sigma_ghz,
+                    std::size_t trials, Rng &rng) const;
+
+  private:
+    std::vector<CollisionChecker::PairTerm> pairs_;
+    std::vector<CollisionChecker::TripleTerm> triples_;
+    std::vector<arch::PhysQubit> involved_;
+    CollisionModel model_;
+};
+
+} // namespace qpad::yield
+
+#endif // QPAD_YIELD_YIELD_SIM_HH

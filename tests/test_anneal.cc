@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Tests for the simulated-annealing layout refiner (the instrument
+ * behind the paper's "near-optimal heuristic" claim) and for the
+ * extended benchmark suite.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/architecture.hh"
+#include "benchmarks/functions.hh"
+#include "benchmarks/suite.hh"
+#include "circuit/decompose.hh"
+#include "design/anneal.hh"
+#include "profile/coupling.hh"
+#include "revsynth/mct.hh"
+#include "revsynth/synth.hh"
+
+namespace
+{
+
+using namespace qpad;
+using namespace qpad::design;
+
+TEST(Anneal, NeverWorseThanStart)
+{
+    for (const char *name : {"UCCSD_ansatz_8", "dc1_220", "qft_16"}) {
+        auto circ = benchmarks::getBenchmark(name).generate();
+        auto prof = profile::profileCircuit(circ);
+        auto start = designLayout(prof);
+        AnnealOptions opts;
+        opts.iterations = 5000;
+        auto annealed = annealLayout(prof, start, opts);
+        EXPECT_LE(annealed.final_cost, annealed.initial_cost) << name;
+        EXPECT_EQ(annealed.initial_cost, start.placement_cost) << name;
+    }
+}
+
+TEST(Anneal, ResultIsValidPlacement)
+{
+    auto circ = benchmarks::getBenchmark("cm152a_212").generate();
+    auto prof = profile::profileCircuit(circ);
+    auto start = designLayout(prof);
+    auto annealed = annealLayout(prof, start, {});
+    const auto &layout = annealed.layout.layout;
+    ASSERT_EQ(layout.numQubits(), prof.num_qubits);
+    // Consistent ids, normalized bounding box, contiguous chip.
+    for (circuit::Qubit q = 0; q < prof.num_qubits; ++q)
+        EXPECT_EQ(*layout.qubitAt(annealed.layout.coord_of_logical[q]),
+                  q);
+    EXPECT_EQ(layout.minRow(), 0);
+    EXPECT_EQ(layout.minCol(), 0);
+    arch::Architecture chip(layout);
+    EXPECT_TRUE(chip.isConnectedGraph());
+    // Reported cost must match the functional.
+    EXPECT_EQ(annealed.final_cost,
+              placementCost(prof, annealed.layout.coord_of_logical));
+}
+
+TEST(Anneal, DeterministicForEqualSeeds)
+{
+    auto circ = benchmarks::getBenchmark("z4_268").generate();
+    auto prof = profile::profileCircuit(circ);
+    auto start = designLayout(prof);
+    AnnealOptions opts;
+    opts.iterations = 3000;
+    auto a = annealLayout(prof, start, opts);
+    auto b = annealLayout(prof, start, opts);
+    EXPECT_EQ(a.final_cost, b.final_cost);
+    EXPECT_EQ(a.layout.coord_of_logical, b.layout.coord_of_logical);
+}
+
+TEST(Anneal, ChainPlacementIsAlreadyOptimal)
+{
+    // Algorithm 1 places chains perfectly; the annealer must not
+    // find anything better.
+    auto circ = benchmarks::getBenchmark("ising_model_16").generate();
+    auto prof = profile::profileCircuit(circ);
+    auto start = designLayout(prof);
+    AnnealOptions opts;
+    opts.iterations = 8000;
+    auto annealed = annealLayout(prof, start, opts);
+    EXPECT_EQ(annealed.final_cost, start.placement_cost);
+}
+
+TEST(ExtendedSuite, AllGenerateAtAdvertisedWidth)
+{
+    for (const auto &info : benchmarks::extendedSuite()) {
+        auto circ = info.generate();
+        EXPECT_EQ(circ.numQubits(), info.num_qubits) << info.name;
+        EXPECT_TRUE(circuit::isInBasis(circ)) << info.name;
+    }
+}
+
+TEST(ExtendedSuite, LookupIncludesExtended)
+{
+    EXPECT_TRUE(benchmarks::hasBenchmark("hwb7"));
+    EXPECT_TRUE(benchmarks::hasBenchmark("mod5adder"));
+    EXPECT_EQ(benchmarks::getBenchmark("majority7").num_qubits, 8u);
+}
+
+void
+checkFunction(const revsynth::TruthTable &tt, std::size_t width)
+{
+    revsynth::SynthOptions opts;
+    opts.total_qubits = width;
+    opts.add_measurements = false;
+    opts.lower_to_basis = false;
+    auto result = revsynth::synthesize(tt, opts);
+    const unsigned n = tt.numInputs();
+    const unsigned m = tt.numOutputs();
+    for (uint64_t x = 0; x < tt.numRows(); ++x) {
+        uint64_t state =
+            revsynth::simulateClassical(result.circuit, x);
+        ASSERT_EQ(state & ((uint64_t{1} << n) - 1), x);
+        ASSERT_EQ((state >> n) & ((uint64_t{1} << m) - 1), tt.row(x))
+            << tt.name() << " x=" << x;
+        ASSERT_EQ(state >> (n + m), 0u);
+    }
+}
+
+TEST(ExtendedSuite, Hwb7Correct)
+{
+    checkFunction(qpad::benchmarks::hwb7Table(), 15);
+}
+
+TEST(ExtendedSuite, Majority7Correct)
+{
+    checkFunction(qpad::benchmarks::majority7Table(), 8);
+}
+
+TEST(ExtendedSuite, Graycode6Correct)
+{
+    checkFunction(qpad::benchmarks::graycode6Table(), 12);
+}
+
+TEST(ExtendedSuite, Mod5adderCorrect)
+{
+    checkFunction(qpad::benchmarks::mod5adderTable(), 10);
+}
+
+TEST(ExtendedSuite, Parity8IsPureCx)
+{
+    checkFunction(qpad::benchmarks::parity8Table(), 9);
+    // Parity's PPRM is all degree-1 monomials: the circuit is CX
+    // only (plus the measure when enabled).
+    revsynth::SynthOptions opts;
+    opts.total_qubits = 9;
+    opts.add_measurements = false;
+    auto r = revsynth::synthesize(qpad::benchmarks::parity8Table(),
+                                  opts);
+    EXPECT_EQ(r.circuit.twoQubitGateCount(), 8u);
+    EXPECT_EQ(r.circuit.unitaryGateCount(), 8u);
+}
+
+} // namespace

@@ -1,0 +1,316 @@
+/**
+ * @file
+ * Tests for the lattice layout and architecture model, including the
+ * IBM baselines of Figure 9.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+#include "arch/architecture.hh"
+#include "arch/ibm.hh"
+
+namespace
+{
+
+using namespace qpad::arch;
+
+// --------------------------------------------------------------------
+// Coord
+// --------------------------------------------------------------------
+
+TEST(Coord, ManhattanDistance)
+{
+    EXPECT_EQ(Coord::manhattan({0, 0}, {0, 0}), 0);
+    EXPECT_EQ(Coord::manhattan({0, 0}, {2, 3}), 5);
+    EXPECT_EQ(Coord::manhattan({-1, -1}, {1, 1}), 4);
+}
+
+TEST(Coord, Lattice4Neighbours)
+{
+    auto nb = lattice4({2, 3});
+    std::set<std::pair<int, int>> got;
+    for (auto c : nb)
+        got.insert({c.row, c.col});
+    std::set<std::pair<int, int>> expect = {
+        {1, 3}, {3, 3}, {2, 2}, {2, 4}};
+    EXPECT_EQ(got, expect);
+}
+
+// --------------------------------------------------------------------
+// Layout
+// --------------------------------------------------------------------
+
+TEST(Layout, GridHasRowMajorIds)
+{
+    Layout g = Layout::grid(2, 3);
+    EXPECT_EQ(g.numQubits(), 6u);
+    EXPECT_EQ(g.coord(0), (Coord{0, 0}));
+    EXPECT_EQ(g.coord(4), (Coord{1, 1}));
+    EXPECT_EQ(*g.qubitAt({1, 2}), 5u);
+    EXPECT_FALSE(g.qubitAt({2, 0}).has_value());
+}
+
+TEST(Layout, AddDuplicateNodeFatal)
+{
+    Layout l;
+    l.addQubit({0, 0});
+    EXPECT_THROW(l.addQubit({0, 0}), std::runtime_error);
+}
+
+TEST(Layout, LatticeEdgeCounts)
+{
+    // R x C grid has R*(C-1) + C*(R-1) edges.
+    EXPECT_EQ(Layout::grid(2, 8).latticeEdges().size(), 22u);
+    EXPECT_EQ(Layout::grid(4, 5).latticeEdges().size(), 31u);
+    EXPECT_EQ(Layout::grid(1, 5).latticeEdges().size(), 4u);
+}
+
+TEST(Layout, NormalizedShiftsToOrigin)
+{
+    Layout l;
+    l.addQubit({3, -2});
+    l.addQubit({4, -1});
+    Layout n = l.normalized();
+    EXPECT_EQ(n.coord(0), (Coord{0, 0}));
+    EXPECT_EQ(n.coord(1), (Coord{1, 1}));
+}
+
+TEST(Layout, BoundingBox)
+{
+    Layout l;
+    l.addQubit({1, 5});
+    l.addQubit({-2, 7});
+    EXPECT_EQ(l.minRow(), -2);
+    EXPECT_EQ(l.maxRow(), 1);
+    EXPECT_EQ(l.minCol(), 5);
+    EXPECT_EQ(l.maxCol(), 7);
+}
+
+TEST(Layout, StrShowsQubitsAndHoles)
+{
+    Layout l;
+    l.addQubit({0, 0});
+    l.addQubit({0, 2});
+    std::string s = l.str();
+    EXPECT_NE(s.find("q0"), std::string::npos);
+    EXPECT_NE(s.find("."), std::string::npos);
+    EXPECT_NE(s.find("q1"), std::string::npos);
+}
+
+// --------------------------------------------------------------------
+// Architecture: buses, coupling graph, distances
+// --------------------------------------------------------------------
+
+TEST(Architecture, EligibleSquareCounts)
+{
+    Architecture a16(Layout::grid(2, 8));
+    EXPECT_EQ(a16.eligibleSquares().size(), 7u);
+    Architecture a20(Layout::grid(4, 5));
+    EXPECT_EQ(a20.eligibleSquares().size(), 12u);
+}
+
+TEST(Architecture, ThreeCornerSquareIsEligible)
+{
+    Layout l;
+    l.addQubit({0, 0});
+    l.addQubit({0, 1});
+    l.addQubit({1, 0});
+    Architecture arch(l);
+    auto squares = arch.eligibleSquares();
+    ASSERT_EQ(squares.size(), 1u);
+    EXPECT_EQ(squares[0].corners.size(), 3u);
+    // Only the diagonal with both endpoints present counts.
+    ASSERT_EQ(squares[0].diagonals.size(), 1u);
+    EXPECT_EQ(squares[0].diagonals[0],
+              (std::pair<PhysQubit, PhysQubit>{1, 2}));
+}
+
+TEST(Architecture, TwoCornerSquareNotEligible)
+{
+    Layout l;
+    l.addQubit({0, 0});
+    l.addQubit({1, 1});
+    Architecture arch(l);
+    EXPECT_TRUE(arch.eligibleSquares().empty());
+}
+
+TEST(Architecture, FourQubitBusAddsDiagonals)
+{
+    Architecture arch(Layout::grid(2, 2));
+    EXPECT_EQ(arch.numEdges(), 4u);
+    arch.addFourQubitBus({0, 0});
+    EXPECT_EQ(arch.numEdges(), 6u);
+    EXPECT_TRUE(arch.connected(0, 3));
+    EXPECT_TRUE(arch.connected(1, 2));
+}
+
+TEST(Architecture, ProhibitedConditionEnforced)
+{
+    Architecture arch(Layout::grid(2, 8));
+    arch.addFourQubitBus({0, 2});
+    EXPECT_FALSE(arch.canAddFourQubitBus({0, 1}));
+    EXPECT_FALSE(arch.canAddFourQubitBus({0, 3}));
+    EXPECT_TRUE(arch.canAddFourQubitBus({0, 0}));
+    EXPECT_TRUE(arch.canAddFourQubitBus({0, 4}));
+    EXPECT_THROW(arch.addFourQubitBus({0, 3}), std::runtime_error);
+    EXPECT_THROW(arch.addFourQubitBus({0, 2}), std::runtime_error);
+}
+
+TEST(Architecture, DiagonallyAdjacentBusesAllowed)
+{
+    Architecture arch(Layout::grid(3, 3));
+    arch.addFourQubitBus({0, 0});
+    EXPECT_TRUE(arch.canAddFourQubitBus({1, 1}));
+    arch.addFourQubitBus({1, 1});
+    EXPECT_EQ(arch.fourQubitBuses().size(), 2u);
+}
+
+TEST(Architecture, DistancesAreBfsShortestPaths)
+{
+    Architecture arch(Layout::grid(2, 8));
+    const auto &d = arch.distances();
+    EXPECT_EQ(d(0, 0), 0);
+    EXPECT_EQ(d(0, 1), 1);
+    EXPECT_EQ(d(0, 8), 1);  // below
+    EXPECT_EQ(d(0, 15), 8); // opposite corner: 7 cols + 1 row
+    EXPECT_EQ(d(0, 7), 7);
+}
+
+TEST(Architecture, BusShortensDistances)
+{
+    Architecture arch(Layout::grid(2, 2));
+    EXPECT_EQ(arch.distances()(0, 3), 2);
+    arch.addFourQubitBus({0, 0});
+    EXPECT_EQ(arch.distances()(0, 3), 1);
+}
+
+TEST(Architecture, ConnectivityCheck)
+{
+    Architecture grid(Layout::grid(2, 3));
+    EXPECT_TRUE(grid.isConnectedGraph());
+
+    Layout split;
+    split.addQubit({0, 0});
+    split.addQubit({0, 2}); // not adjacent
+    Architecture disconnected(split);
+    EXPECT_FALSE(disconnected.isConnectedGraph());
+}
+
+TEST(Architecture, FrequenciesRoundTrip)
+{
+    Architecture arch(Layout::grid(1, 3));
+    EXPECT_FALSE(arch.frequenciesAssigned());
+    arch.setFrequency(0, 5.1);
+    arch.setFrequency(1, 5.2);
+    EXPECT_FALSE(arch.frequenciesAssigned());
+    arch.setFrequency(2, 5.3);
+    EXPECT_TRUE(arch.frequenciesAssigned());
+    EXPECT_DOUBLE_EQ(arch.frequency(1), 5.2);
+    arch.setAllFrequencies({5.0, 5.0, 5.0});
+    EXPECT_DOUBLE_EQ(arch.frequency(2), 5.0);
+}
+
+// --------------------------------------------------------------------
+// IBM baselines (Figure 9)
+// --------------------------------------------------------------------
+
+TEST(Ibm, FiveFrequencyValues)
+{
+    const auto &v = fiveFrequencyValues();
+    ASSERT_EQ(v.size(), 5u);
+    EXPECT_DOUBLE_EQ(v.front(), 5.00);
+    EXPECT_DOUBLE_EQ(v.back(), 5.27);
+}
+
+TEST(Ibm, BaselineShapes)
+{
+    auto baselines = ibmBaselines();
+    ASSERT_EQ(baselines.size(), 4u);
+    EXPECT_EQ(baselines[0].numQubits(), 16u);
+    EXPECT_EQ(baselines[1].numQubits(), 16u);
+    EXPECT_EQ(baselines[2].numQubits(), 20u);
+    EXPECT_EQ(baselines[3].numQubits(), 20u);
+    EXPECT_EQ(baselines[0].fourQubitBuses().size(), 0u);
+    EXPECT_EQ(baselines[1].fourQubitBuses().size(), 4u);
+    EXPECT_EQ(baselines[2].fourQubitBuses().size(), 0u);
+    EXPECT_EQ(baselines[3].fourQubitBuses().size(), 6u);
+}
+
+TEST(Ibm, BaselineEdgeCounts)
+{
+    EXPECT_EQ(ibm16Q(false).numEdges(), 22u);
+    EXPECT_EQ(ibm16Q(true).numEdges(), 22u + 8u);
+    EXPECT_EQ(ibm20Q(false).numEdges(), 31u);
+    EXPECT_EQ(ibm20Q(true).numEdges(), 31u + 12u);
+}
+
+TEST(Ibm, FrequenciesComeFromTheFiveValues)
+{
+    for (const auto &arch : ibmBaselines()) {
+        ASSERT_TRUE(arch.frequenciesAssigned());
+        for (PhysQubit q = 0; q < arch.numQubits(); ++q) {
+            double f = arch.frequency(q);
+            bool in_set = false;
+            for (double v : fiveFrequencyValues())
+                in_set = in_set || std::abs(f - v) < 1e-12;
+            EXPECT_TRUE(in_set) << arch.name() << " q" << q;
+        }
+    }
+}
+
+TEST(Ibm, AdjacentQubitsGetDistinctFrequencies)
+{
+    for (const auto &arch : ibmBaselines()) {
+        for (auto [a, b] : arch.layout().latticeEdges())
+            EXPECT_NE(arch.frequency(a), arch.frequency(b))
+                << arch.name() << " edge " << a << "-" << b;
+    }
+}
+
+TEST(Ibm, SixteenQubitTilingMatchesFigure9)
+{
+    // Row 0: 3 4 5 1 2 3 4 5 / row 1: 1 2 3 4 5 1 2 3 (1-indexed).
+    auto arch = ibm16Q(false);
+    const auto &v = fiveFrequencyValues();
+    int expect_row0[] = {3, 4, 5, 1, 2, 3, 4, 5};
+    int expect_row1[] = {1, 2, 3, 4, 5, 1, 2, 3};
+    for (int c = 0; c < 8; ++c) {
+        EXPECT_DOUBLE_EQ(arch.frequency(*arch.layout().qubitAt({0, c})),
+                         v[expect_row0[c] - 1]);
+        EXPECT_DOUBLE_EQ(arch.frequency(*arch.layout().qubitAt({1, c})),
+                         v[expect_row1[c] - 1]);
+    }
+}
+
+TEST(Ibm, TwentyQubitTilingMatchesFigure9)
+{
+    auto arch = ibm20Q(false);
+    const auto &v = fiveFrequencyValues();
+    int expect[4][5] = {{1, 2, 3, 4, 5},
+                        {3, 4, 5, 1, 2},
+                        {5, 1, 2, 3, 4},
+                        {2, 3, 4, 5, 1}};
+    for (int r = 0; r < 4; ++r)
+        for (int c = 0; c < 5; ++c)
+            EXPECT_DOUBLE_EQ(
+                arch.frequency(*arch.layout().qubitAt({r, c})),
+                v[expect[r][c] - 1]);
+}
+
+TEST(Ibm, MaxBusesHonoursProhibitedCondition)
+{
+    for (const auto &arch : {ibm16Q(true), ibm20Q(true)}) {
+        const auto &buses = arch.fourQubitBuses();
+        for (std::size_t i = 0; i < buses.size(); ++i)
+            for (std::size_t j = i + 1; j < buses.size(); ++j) {
+                int dist = std::abs(buses[i].row - buses[j].row) +
+                           std::abs(buses[i].col - buses[j].col);
+                EXPECT_GT(dist, 1);
+            }
+    }
+}
+
+} // namespace

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Tests for the benchmark suite: paper qubit counts, basis
+ * conformance, generator structure, and the PLA front end.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "benchmarks/functions.hh"
+#include "benchmarks/generators.hh"
+#include "benchmarks/pla.hh"
+#include "benchmarks/suite.hh"
+#include "revsynth/synth.hh"
+#include "circuit/decompose.hh"
+#include "profile/coupling.hh"
+#include "revsynth/mct.hh"
+
+namespace
+{
+
+using namespace qpad;
+using namespace qpad::benchmarks;
+
+TEST(Suite, HasTheTwelvePaperBenchmarks)
+{
+    const auto &suite = paperSuite();
+    ASSERT_EQ(suite.size(), 12u);
+    // Paper Section 5.1 / Figure 10 qubit counts.
+    const std::map<std::string, std::size_t> expected = {
+        {"qft_16", 16},        {"ising_model_16", 16},
+        {"UCCSD_ansatz_8", 8}, {"sym6_145", 7},
+        {"dc1_220", 11},       {"z4_268", 11},
+        {"cm152a_212", 12},    {"adr4_197", 13},
+        {"radd_250", 13},      {"rd84_142", 15},
+        {"misex1_241", 15},    {"square_root_7", 15},
+    };
+    for (const auto &b : suite) {
+        auto it = expected.find(b.name);
+        ASSERT_NE(it, expected.end()) << "unexpected " << b.name;
+        EXPECT_EQ(b.num_qubits, it->second) << b.name;
+    }
+}
+
+class SuiteParam
+    : public ::testing::TestWithParam<const BenchmarkInfo *>
+{
+};
+
+TEST_P(SuiteParam, GeneratesAdvertisedWidth)
+{
+    const auto &info = *GetParam();
+    auto circ = info.generate();
+    EXPECT_EQ(circ.numQubits(), info.num_qubits);
+    EXPECT_EQ(circ.name().find(info.name.substr(0, 4)), 0u);
+}
+
+TEST_P(SuiteParam, CircuitsAreInNativeBasis)
+{
+    auto circ = GetParam()->generate();
+    EXPECT_TRUE(circuit::isInBasis(circ));
+}
+
+TEST_P(SuiteParam, CircuitsContainTwoQubitGatesAndMeasure)
+{
+    auto circ = GetParam()->generate();
+    EXPECT_GT(circ.twoQubitGateCount(), 0u);
+    EXPECT_GT(circ.countByKind()["measure"], 0u);
+}
+
+TEST_P(SuiteParam, ProfileIsConsistent)
+{
+    auto circ = GetParam()->generate();
+    auto prof = profile::profileCircuit(circ);
+    uint64_t degree_sum = 0;
+    for (auto d : prof.degrees)
+        degree_sum += d;
+    EXPECT_EQ(degree_sum, 2 * prof.total_two_qubit_gates);
+    EXPECT_EQ(prof.total_two_qubit_gates, circ.twoQubitGateCount());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, SuiteParam,
+    ::testing::ValuesIn([] {
+        std::vector<const BenchmarkInfo *> ptrs;
+        for (const auto &b : paperSuite())
+            ptrs.push_back(&b);
+        return ptrs;
+    }()),
+    [](const ::testing::TestParamInfo<const BenchmarkInfo *> &info) {
+        std::string name = info.param->name;
+        for (auto &c : name)
+            if (!isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        return name;
+    });
+
+TEST(Suite, LookupByName)
+{
+    EXPECT_EQ(getBenchmark("qft_16").num_qubits, 16u);
+    EXPECT_TRUE(hasBenchmark("misex1_241"));
+    EXPECT_FALSE(hasBenchmark("nope"));
+    EXPECT_THROW(getBenchmark("nope"), std::runtime_error);
+}
+
+TEST(Generators, QftGateStructure)
+{
+    auto circ = qft(5, false);
+    // n H gates + n(n-1)/2 controlled phases, each lowered to 2 CX
+    // and 3 RZ.
+    EXPECT_EQ(circ.countByKind()["h"], 5u);
+    EXPECT_EQ(circ.twoQubitGateCount(), 2u * 10u);
+}
+
+TEST(Generators, IsingChainStructure)
+{
+    auto circ = isingModel(8, 4, false);
+    auto prof = profile::profileCircuit(circ);
+    EXPECT_TRUE(prof.isChain());
+    // Each of the 7 chain bonds sees 2 CX per step.
+    EXPECT_EQ(prof.strength(3, 4), 8u);
+    EXPECT_EQ(prof.strength(0, 2), 0u);
+}
+
+TEST(Generators, CuccaroAdderAddsCorrectly)
+{
+    // Lower the adder only to CCX level for classical simulation:
+    // rebuild via the generator pieces: use the lowered {1q, CX}
+    // circuit is not classically simulable, so check the adder via
+    // its reversible semantics using a CCX-preserving copy.
+    // The generator emits decomposed T-gate Toffolis, so instead we
+    // validate the structural invariant: the adder touches 2n+1
+    // wires and measures n sum bits.
+    auto circ = cuccaroAdder(4);
+    EXPECT_EQ(circ.numQubits(), 9u);
+    EXPECT_EQ(circ.countByKind()["measure"], 4u);
+    EXPECT_TRUE(circuit::isInBasis(circ));
+}
+
+TEST(Generators, GhzIsLinear)
+{
+    auto circ = ghz(7, false);
+    EXPECT_EQ(circ.twoQubitGateCount(), 6u);
+    auto prof = profile::profileCircuit(circ);
+    EXPECT_TRUE(prof.isChain());
+}
+
+TEST(Generators, UccsdRequiresEvenOrbitals)
+{
+    EXPECT_THROW(uccsdAnsatz(7), std::logic_error);
+    EXPECT_THROW(uccsdAnsatz(2), std::logic_error);
+}
+
+TEST(Pla, TableFromCubes)
+{
+    // f0 = x0 AND NOT x1; f1 = x2 (don't care others).
+    std::vector<PlaCube> cubes = {
+        {0b011, 0b001, 0b01},
+        {0b100, 0b100, 0b10},
+    };
+    auto tt = tableFromPla(3, 2, cubes, "mini");
+    EXPECT_TRUE(tt.output(0b001, 0));
+    EXPECT_FALSE(tt.output(0b011, 0));
+    EXPECT_TRUE(tt.output(0b101, 1));
+    EXPECT_TRUE(tt.output(0b101, 0));
+    EXPECT_FALSE(tt.output(0b010, 1));
+}
+
+TEST(Pla, ParseEspressoFormat)
+{
+    auto tt = parsePla(".i 2\n.o 1\n# comment\n11 1\n0- 1\n.e\n", "p");
+    EXPECT_TRUE(tt.output(0b11, 0));
+    EXPECT_TRUE(tt.output(0b00, 0));
+    EXPECT_TRUE(tt.output(0b10, 0)); // cube "0-": x0 = 0
+    EXPECT_FALSE(tt.output(0b01, 0));
+}
+
+TEST(Pla, ParseRejectsBadCubes)
+{
+    EXPECT_THROW(parsePla(".i 2\n.o 1\n111 1\n.e\n", "bad"),
+                 std::runtime_error);
+    EXPECT_THROW(parsePla("11 1\n.e\n", "noheader"),
+                 std::runtime_error);
+}
+
+TEST(Misex1, InputsNeverTargeted)
+{
+    // The reversible embedding keeps inputs as controls only; no X
+    // basis change should ever target an input line in the MCT
+    // network form (before CCX lowering).
+    revsynth::SynthOptions opts;
+    opts.total_qubits = 15;
+    opts.lower_to_basis = false;
+    opts.add_measurements = false;
+    auto result =
+        revsynth::synthesize(qpad::benchmarks::misex1Table(), opts);
+    for (const auto &g : result.network.gates)
+        EXPECT_GE(g.target, 8u);
+}
+
+} // namespace

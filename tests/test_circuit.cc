@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Unit tests for the gate/circuit IR.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "circuit/circuit.hh"
+
+namespace
+{
+
+using namespace qpad::circuit;
+
+TEST(Gate, KindMetadata)
+{
+    EXPECT_EQ(gateKindNumQubits(GateKind::H), 1);
+    EXPECT_EQ(gateKindNumQubits(GateKind::CX), 2);
+    EXPECT_EQ(gateKindNumQubits(GateKind::CCX), 3);
+    EXPECT_EQ(gateKindNumParams(GateKind::RZ), 1);
+    EXPECT_EQ(gateKindNumParams(GateKind::U3), 3);
+    EXPECT_EQ(gateKindNumParams(GateKind::CX), 0);
+    EXPECT_STREQ(gateKindName(GateKind::CX), "cx");
+    EXPECT_STREQ(gateKindName(GateKind::Sdg), "sdg");
+}
+
+TEST(Gate, TwoQubitClassification)
+{
+    EXPECT_TRUE(gateKindIsTwoQubit(GateKind::CX));
+    EXPECT_TRUE(gateKindIsTwoQubit(GateKind::SWAP));
+    EXPECT_TRUE(gateKindIsTwoQubit(GateKind::RZZ));
+    EXPECT_FALSE(gateKindIsTwoQubit(GateKind::H));
+    EXPECT_FALSE(gateKindIsTwoQubit(GateKind::CCX));
+    EXPECT_FALSE(gateKindIsTwoQubit(GateKind::Measure));
+}
+
+TEST(Gate, SingleQubitClassification)
+{
+    EXPECT_TRUE(gateKindIsSingleQubit(GateKind::H));
+    EXPECT_TRUE(gateKindIsSingleQubit(GateKind::RZ));
+    EXPECT_FALSE(gateKindIsSingleQubit(GateKind::Measure));
+    EXPECT_FALSE(gateKindIsSingleQubit(GateKind::Barrier));
+    EXPECT_FALSE(gateKindIsSingleQubit(GateKind::CX));
+}
+
+TEST(Gate, NameLookup)
+{
+    GateKind kind;
+    EXPECT_TRUE(gateKindFromName("cx", kind));
+    EXPECT_EQ(kind, GateKind::CX);
+    EXPECT_TRUE(gateKindFromName("cnot", kind));
+    EXPECT_EQ(kind, GateKind::CX);
+    EXPECT_TRUE(gateKindFromName("u", kind));
+    EXPECT_EQ(kind, GateKind::U3);
+    EXPECT_FALSE(gateKindFromName("frobnicate", kind));
+}
+
+TEST(Gate, CtorValidatesArity)
+{
+    EXPECT_THROW(Gate(GateKind::CX, {0}), std::logic_error);
+    EXPECT_THROW(Gate(GateKind::H, {0, 1}), std::logic_error);
+    EXPECT_THROW(Gate(GateKind::RZ, {0}, {}), std::logic_error);
+    EXPECT_THROW(Gate(GateKind::H, {0}, {0.5}), std::logic_error);
+    EXPECT_NO_THROW(Gate(GateKind::RZ, {0}, {0.5}));
+}
+
+TEST(Gate, StrIsReadable)
+{
+    Gate g(GateKind::CX, {2, 5});
+    EXPECT_EQ(g.str(), "cx q2, q5");
+    Gate r(GateKind::RZ, {1}, {0.5});
+    EXPECT_EQ(r.str(), "rz(0.5) q1");
+}
+
+TEST(Circuit, AddValidatesQubitRange)
+{
+    Circuit c(3, 1);
+    EXPECT_NO_THROW(c.cx(0, 2));
+    EXPECT_THROW(c.cx(0, 3), std::logic_error);
+    EXPECT_THROW(c.h(5), std::logic_error);
+}
+
+TEST(Circuit, AddRejectsDuplicateOperands)
+{
+    Circuit c(3);
+    EXPECT_THROW(c.cx(1, 1), std::logic_error);
+}
+
+TEST(Circuit, MeasureValidatesClbit)
+{
+    Circuit c(2, 1);
+    EXPECT_NO_THROW(c.measure(0, 0));
+    EXPECT_THROW(c.measure(1, 1), std::logic_error);
+}
+
+TEST(Circuit, GateCounts)
+{
+    Circuit c(3, 3);
+    c.h(0);
+    c.cx(0, 1);
+    c.rz(0.1, 1);
+    c.cx(1, 2);
+    c.measure(2, 2);
+    c.barrier();
+    EXPECT_EQ(c.size(), 6u);
+    EXPECT_EQ(c.twoQubitGateCount(), 2u);
+    EXPECT_EQ(c.singleQubitGateCount(), 2u);
+    EXPECT_EQ(c.unitaryGateCount(), 4u);
+    auto by_kind = c.countByKind();
+    EXPECT_EQ(by_kind["cx"], 2u);
+    EXPECT_EQ(by_kind["h"], 1u);
+    EXPECT_EQ(by_kind["measure"], 1u);
+}
+
+TEST(Circuit, DepthSerialChain)
+{
+    Circuit c(2);
+    c.h(0);
+    c.h(0);
+    c.h(0);
+    EXPECT_EQ(c.depth(), 3u);
+}
+
+TEST(Circuit, DepthParallelGates)
+{
+    Circuit c(4);
+    c.h(0);
+    c.h(1);
+    c.h(2);
+    c.h(3);
+    EXPECT_EQ(c.depth(), 1u);
+    c.cx(0, 1);
+    c.cx(2, 3);
+    EXPECT_EQ(c.depth(), 2u);
+}
+
+TEST(Circuit, BarrierSynchronizesDepth)
+{
+    Circuit c(2);
+    c.h(0); // depth 1 on qubit 0
+    c.barrier();
+    c.h(1); // would be depth 1 without the barrier
+    EXPECT_EQ(c.depth(), 2u);
+}
+
+TEST(Circuit, AppendCopiesGates)
+{
+    Circuit a(2);
+    a.h(0);
+    a.cx(0, 1);
+    Circuit b(3);
+    b.x(2);
+    b.append(a);
+    EXPECT_EQ(b.size(), 3u);
+    EXPECT_EQ(b.gate(1).kind, GateKind::H);
+}
+
+TEST(Circuit, AppendRejectsWider)
+{
+    Circuit narrow(2), wide(5);
+    wide.h(4);
+    EXPECT_THROW(narrow.append(wide), std::logic_error);
+}
+
+TEST(Circuit, AppendMappedRelabelsQubits)
+{
+    Circuit inner(2);
+    inner.cx(0, 1);
+    Circuit outer(5);
+    outer.appendMapped(inner, {3, 1});
+    EXPECT_EQ(outer.gate(0).qubits[0], 3u);
+    EXPECT_EQ(outer.gate(0).qubits[1], 1u);
+}
+
+TEST(Circuit, ActiveWidth)
+{
+    Circuit c(10);
+    EXPECT_EQ(c.activeWidth(), 0u);
+    c.h(3);
+    EXPECT_EQ(c.activeWidth(), 4u);
+    c.cx(7, 2);
+    EXPECT_EQ(c.activeWidth(), 8u);
+}
+
+TEST(Circuit, EqualityIsStructural)
+{
+    Circuit a(2), b(2);
+    a.h(0);
+    b.h(0);
+    EXPECT_TRUE(a == b);
+    b.x(1);
+    EXPECT_FALSE(a == b);
+}
+
+} // namespace

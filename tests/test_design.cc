@@ -1,0 +1,411 @@
+/**
+ * @file
+ * Tests for the three design subroutines (Algorithms 1-3) and the
+ * end-to-end design flow.
+ */
+
+#include <gtest/gtest.h>
+
+#include "benchmarks/generators.hh"
+#include "benchmarks/suite.hh"
+#include "design/design_flow.hh"
+#include "profile/coupling.hh"
+#include "yield/yield_sim.hh"
+
+namespace
+{
+
+using namespace qpad;
+using namespace qpad::design;
+using arch::Architecture;
+using arch::Coord;
+using arch::Layout;
+
+// --------------------------------------------------------------------
+// Algorithm 1: layout design
+// --------------------------------------------------------------------
+
+TEST(LayoutDesign, Figure6StarExample)
+{
+    auto prof = profile::profileCircuit(benchmarks::profilingExample());
+    LayoutResult r = designLayout(prof);
+    ASSERT_EQ(r.layout.numQubits(), 5u);
+
+    // q4 is placed first (highest degree); the heavy q0-q4 pair must
+    // be lattice-adjacent.
+    EXPECT_EQ(Coord::manhattan(r.coord_of_logical[0],
+                               r.coord_of_logical[4]), 1);
+    // Star around q4: an optimal plus-shape costs 7
+    // (edges to q4: 2+1+1+1, plus q0-q1 at distance 2).
+    EXPECT_LE(r.placement_cost, 8u);
+}
+
+TEST(LayoutDesign, ChainProgramGetsPerfectChainPlacement)
+{
+    auto prof = profile::profileCircuit(benchmarks::isingModel(16, 5));
+    ASSERT_TRUE(prof.isChain());
+    LayoutResult r = designLayout(prof);
+    // Every logical edge must land on lattice-adjacent nodes: the
+    // cost equals the plain sum of edge strengths.
+    uint64_t strength_sum = 0;
+    for (auto [i, j] : prof.edges())
+        strength_sum += prof.strength(i, j);
+    EXPECT_EQ(r.placement_cost, strength_sum);
+}
+
+TEST(LayoutDesign, PlacesEveryQubitOnce)
+{
+    for (const char *name : {"qft_16", "misex1_241", "adr4_197"}) {
+        auto circ = benchmarks::getBenchmark(name).generate();
+        auto prof = profile::profileCircuit(circ);
+        LayoutResult r = designLayout(prof);
+        EXPECT_EQ(r.layout.numQubits(), prof.num_qubits) << name;
+        // Layout::addQubit would have thrown on duplicate coords;
+        // verify id <-> coordinate consistency instead.
+        for (circuit::Qubit q = 0; q < prof.num_qubits; ++q)
+            EXPECT_EQ(*r.layout.qubitAt(r.coord_of_logical[q]), q);
+    }
+}
+
+TEST(LayoutDesign, LayoutIsContiguous)
+{
+    auto prof = profile::profileCircuit(benchmarks::uccsdAnsatz(8));
+    LayoutResult r = designLayout(prof);
+    Architecture arch(r.layout);
+    EXPECT_TRUE(arch.isConnectedGraph());
+}
+
+TEST(LayoutDesign, NormalizedToOrigin)
+{
+    auto prof = profile::profileCircuit(benchmarks::qft(9));
+    LayoutResult r = designLayout(prof);
+    EXPECT_EQ(r.layout.minRow(), 0);
+    EXPECT_EQ(r.layout.minCol(), 0);
+}
+
+TEST(LayoutDesign, CostBeatsRowMajorPackingOnStructuredPrograms)
+{
+    // The whole point of Algorithm 1: locality-aware placement must
+    // not be worse than naive row-major packing into a near-square.
+    for (const char *name : {"UCCSD_ansatz_8", "misex1_241"}) {
+        auto circ = benchmarks::getBenchmark(name).generate();
+        auto prof = profile::profileCircuit(circ);
+        LayoutResult r = designLayout(prof);
+
+        std::vector<Coord> naive(prof.num_qubits);
+        int cols = 4;
+        for (std::size_t q = 0; q < prof.num_qubits; ++q)
+            naive[q] = {int(q) / cols, int(q) % cols};
+        EXPECT_LE(r.placement_cost, placementCost(prof, naive))
+            << name;
+    }
+}
+
+TEST(LayoutDesign, HandlesIsolatedQubits)
+{
+    // A program whose qubit 2 never touches a two-qubit gate.
+    circuit::Circuit c(3, 3);
+    c.cx(0, 1);
+    c.h(2);
+    auto prof = profile::profileCircuit(c);
+    LayoutResult r = designLayout(prof);
+    EXPECT_EQ(r.layout.numQubits(), 3u);
+}
+
+// --------------------------------------------------------------------
+// Algorithm 2: bus selection
+// --------------------------------------------------------------------
+
+profile::CouplingProfile
+syntheticProfile(std::size_t n,
+                 const std::vector<std::tuple<int, int, int>> &edges)
+{
+    circuit::Circuit c(n);
+    for (auto [a, b, w] : edges)
+        for (int k = 0; k < w; ++k)
+            c.cx(a, b);
+    return profile::profileCircuit(c);
+}
+
+TEST(BusSelection, PicksTheHeavyDiagonal)
+{
+    // 2x2 grid, logical ids = grid ids; diagonal (0,3) heavy.
+    auto prof = syntheticProfile(
+        4, {{0, 1, 1}, {2, 3, 1}, {0, 3, 10}});
+    Architecture arch(Layout::grid(2, 2));
+    auto sel = selectBuses(arch, prof, 5);
+    ASSERT_EQ(sel.selected.size(), 1u);
+    EXPECT_EQ(sel.selected[0], (Coord{0, 0}));
+    EXPECT_EQ(sel.weights[0], 10u);
+}
+
+TEST(BusSelection, ZeroWeightSquaresNeverSelected)
+{
+    // Chain coupling on a 2x3 grid: no diagonal demand at all.
+    auto prof = syntheticProfile(
+        6, {{0, 1, 5}, {1, 2, 5}, {3, 4, 5}, {4, 5, 5}});
+    Architecture arch(Layout::grid(2, 3));
+    auto sel = selectBuses(arch, prof, 10);
+    EXPECT_TRUE(sel.selected.empty());
+}
+
+TEST(BusSelection, ProhibitedConditionRespected)
+{
+    // All diagonals attractive on a 2x8 grid: selection must stay an
+    // independent set of squares.
+    std::vector<std::tuple<int, int, int>> edges;
+    for (int c = 0; c < 7; ++c) {
+        edges.push_back({c, 9 + c, 3});     // diag tl-br
+        edges.push_back({c + 1, 8 + c, 3}); // diag tr-bl
+    }
+    auto prof = syntheticProfile(16, edges);
+    Architecture arch(Layout::grid(2, 8));
+    auto sel = selectBuses(arch, prof, 100);
+    EXPECT_LE(sel.selected.size(), 4u);
+    Architecture check(Layout::grid(2, 8));
+    applyBusSelection(check, sel); // throws on violation
+    EXPECT_EQ(check.fourQubitBuses().size(), sel.selected.size());
+}
+
+TEST(BusSelection, FilteredWeightPrefersIsolatedHeavySquare)
+{
+    // Squares at origins (0,0), (0,1), (0,2) on a 2x4 grid with
+    // weights 6, 7, 6: raw greedy would take the middle (7) and
+    // block both neighbours (total 7); the filter starts from an
+    // edge square and achieves 6 + 6.
+    auto prof = syntheticProfile(8, {{0, 5, 6},   // diag of square 0
+                                     {1, 6, 7},   // diag of square 1
+                                     {2, 7, 6}}); // diag of square 2
+    Architecture arch(Layout::grid(2, 4));
+    auto sel = selectBuses(arch, prof, 10);
+    uint64_t total = 0;
+    for (auto w : sel.weights)
+        total += w;
+    EXPECT_EQ(sel.selected.size(), 2u);
+    EXPECT_EQ(total, 12u);
+}
+
+TEST(BusSelection, RespectsMaxBusesK)
+{
+    auto prof = profile::profileCircuit(benchmarks::qft(16));
+    LayoutResult lay = designLayout(prof);
+    Architecture arch(lay.layout);
+    auto sel1 = selectBuses(arch, prof, 1);
+    EXPECT_LE(sel1.selected.size(), 1u);
+    auto sel3 = selectBuses(arch, prof, 3);
+    EXPECT_LE(sel3.selected.size(), 3u);
+    EXPECT_GE(sel3.selected.size(), sel1.selected.size());
+}
+
+TEST(BusSelection, RandomSelectionHonoursConstraints)
+{
+    Architecture arch(Layout::grid(4, 5));
+    Rng rng(123);
+    for (int round = 0; round < 10; ++round) {
+        auto sel = selectBusesRandom(arch, 4, rng);
+        EXPECT_LE(sel.selected.size(), 4u);
+        Architecture check(Layout::grid(4, 5));
+        applyBusSelection(check, sel);
+    }
+}
+
+TEST(BusSelection, RandomSelectionVariesWithSeed)
+{
+    Architecture arch(Layout::grid(4, 5));
+    Rng rng_a(1), rng_b(2);
+    auto a = selectBusesRandom(arch, 6, rng_a);
+    auto b = selectBusesRandom(arch, 6, rng_b);
+    EXPECT_TRUE(a.selected != b.selected);
+}
+
+TEST(BusSelection, MaxPlaceableMatchesKnownGrids)
+{
+    Architecture a16(Layout::grid(2, 8));
+    EXPECT_EQ(maxPlaceableBuses(a16), 4u);
+    Architecture a20(Layout::grid(4, 5));
+    EXPECT_EQ(maxPlaceableBuses(a20), 6u);
+}
+
+// --------------------------------------------------------------------
+// Algorithm 3: frequency allocation
+// --------------------------------------------------------------------
+
+TEST(FreqAlloc, CenterQubitOfGrids)
+{
+    // 1x3 path: the middle qubit is the centroid.
+    EXPECT_EQ(centerQubit(Layout::grid(1, 3)), 1u);
+    // 3x3: the true centre.
+    EXPECT_EQ(centerQubit(Layout::grid(3, 3)), 4u);
+}
+
+TEST(FreqAlloc, SeedQubitGetsBandMiddle)
+{
+    Architecture arch(Layout::grid(3, 3));
+    FreqAllocOptions opts;
+    opts.local_trials = 200;
+    auto r = allocateFrequencies(arch, opts);
+    EXPECT_EQ(r.order.front(), 4u);
+    EXPECT_NEAR(r.freqs[4], 5.17, 0.051); // may move in refinement
+}
+
+TEST(FreqAlloc, AllFrequenciesInsideAllowedBand)
+{
+    Architecture arch(Layout::grid(2, 4));
+    FreqAllocOptions opts;
+    opts.local_trials = 300;
+    auto r = allocateFrequencies(arch, opts);
+    for (double f : r.freqs) {
+        EXPECT_GE(f, arch::DeviceConstants::freq_min_ghz - 1e-9);
+        EXPECT_LE(f, arch::DeviceConstants::freq_max_ghz + 1e-9);
+    }
+}
+
+TEST(FreqAlloc, VisitsEveryQubitOnce)
+{
+    Architecture arch(Layout::grid(3, 4));
+    FreqAllocOptions opts;
+    opts.local_trials = 100;
+    auto r = allocateFrequencies(arch, opts);
+    ASSERT_EQ(r.order.size(), 12u);
+    std::vector<bool> seen(12, false);
+    for (auto q : r.order) {
+        EXPECT_FALSE(seen[q]);
+        seen[q] = true;
+    }
+}
+
+TEST(FreqAlloc, OrderIsBreadthFirstFromCenter)
+{
+    Architecture arch(Layout::grid(3, 3));
+    FreqAllocOptions opts;
+    opts.local_trials = 100;
+    auto r = allocateFrequencies(arch, opts);
+    const auto &d = arch.distances();
+    // BFS property: distances from the centre are non-decreasing
+    // along the visit order.
+    for (std::size_t i = 1; i < r.order.size(); ++i)
+        EXPECT_LE(d(r.order.front(), r.order[i - 1]),
+                  d(r.order.front(), r.order[i]) + 0);
+}
+
+TEST(FreqAlloc, DeterministicForEqualSeeds)
+{
+    Architecture arch(Layout::grid(2, 4));
+    FreqAllocOptions opts;
+    opts.local_trials = 300;
+    auto a = allocateFrequencies(arch, opts);
+    auto b = allocateFrequencies(arch, opts);
+    EXPECT_EQ(a.freqs, b.freqs);
+}
+
+TEST(FreqAlloc, BeatsFiveFrequencySchemeOnDesignedLayout)
+{
+    // The headline Section 5.4.3 property on one concrete design.
+    auto prof = profile::profileCircuit(benchmarks::uccsdAnsatz(8));
+    DesignFlowOptions flow;
+    flow.max_buses = 2;
+
+    flow.freq_scheme = FreqScheme::Optimized;
+    auto optimized = designArchitecture(prof, flow, "opt");
+    flow.freq_scheme = FreqScheme::FiveFrequency;
+    auto five = designArchitecture(prof, flow, "five");
+
+    yield::YieldOptions yo;
+    yo.trials = 20000;
+    double y_opt = yield::estimateYield(optimized.architecture, yo).yield;
+    double y_five = yield::estimateYield(five.architecture, yo).yield;
+    EXPECT_GT(y_opt, y_five);
+}
+
+TEST(FreqAlloc, RefinementSweepsHelpOrAreNeutral)
+{
+    auto prof = profile::profileCircuit(benchmarks::uccsdAnsatz(8));
+    LayoutResult lay = designLayout(prof);
+    Architecture arch(lay.layout);
+
+    FreqAllocOptions plain;
+    plain.refine_sweeps = 0;
+    plain.local_trials = 2000;
+    FreqAllocOptions refined = plain;
+    refined.refine_sweeps = 2;
+
+    Architecture a = arch, b = arch;
+    a.setAllFrequencies(allocateFrequencies(arch, plain).freqs);
+    b.setAllFrequencies(allocateFrequencies(arch, refined).freqs);
+
+    yield::YieldOptions yo;
+    yo.trials = 20000;
+    double y_plain = yield::estimateYield(a, yo).yield;
+    double y_refined = yield::estimateYield(b, yo).yield;
+    // Refinement should not lose more than noise allows.
+    EXPECT_GE(y_refined, 0.7 * y_plain);
+}
+
+// --------------------------------------------------------------------
+// End-to-end flow
+// --------------------------------------------------------------------
+
+TEST(DesignFlow, ProducesCompleteArchitecture)
+{
+    auto prof = profile::profileCircuit(benchmarks::qft(8));
+    DesignFlowOptions opts;
+    opts.max_buses = 2;
+    opts.freq_options.local_trials = 300;
+    auto outcome = designArchitecture(prof, opts, "flow-test");
+    EXPECT_EQ(outcome.architecture.name(), "flow-test");
+    EXPECT_EQ(outcome.architecture.numQubits(), 8u);
+    EXPECT_TRUE(outcome.architecture.frequenciesAssigned());
+    EXPECT_TRUE(outcome.architecture.isConnectedGraph());
+    EXPECT_LE(outcome.architecture.fourQubitBuses().size(), 2u);
+}
+
+TEST(DesignFlow, BusSchemesBehave)
+{
+    auto prof = profile::profileCircuit(benchmarks::qft(9));
+    DesignFlowOptions opts;
+    opts.freq_scheme = FreqScheme::FiveFrequency;
+
+    opts.bus_scheme = BusScheme::None;
+    auto none = designArchitecture(prof, opts, "none");
+    EXPECT_TRUE(none.architecture.fourQubitBuses().empty());
+
+    opts.bus_scheme = BusScheme::Max;
+    auto max = designArchitecture(prof, opts, "max");
+    EXPECT_GT(max.architecture.fourQubitBuses().size(), 0u);
+    EXPECT_GT(max.architecture.numEdges(), none.architecture.numEdges());
+
+    opts.bus_scheme = BusScheme::Weighted;
+    opts.max_buses = 1;
+    auto one = designArchitecture(prof, opts, "one");
+    EXPECT_LE(one.architecture.fourQubitBuses().size(), 1u);
+}
+
+TEST(DesignFlow, IsingNeedsNoBuses)
+{
+    // Section 5.3.1: chain programs derive no benefit from 4-qubit
+    // buses, so the weighted selector must pick none.
+    auto prof = profile::profileCircuit(benchmarks::isingModel(16, 5));
+    DesignFlowOptions opts;
+    opts.freq_scheme = FreqScheme::FiveFrequency;
+    opts.max_buses = 100;
+    auto outcome = designArchitecture(prof, opts, "ising");
+    EXPECT_TRUE(outcome.architecture.fourQubitBuses().empty());
+}
+
+TEST(DesignFlow, MoreBusesMoreEdges)
+{
+    auto prof = profile::profileCircuit(benchmarks::qft(12));
+    DesignFlowOptions opts;
+    opts.freq_scheme = FreqScheme::FiveFrequency;
+    std::size_t prev_edges = 0;
+    for (std::size_t k : {0u, 1u, 2u, 3u}) {
+        opts.max_buses = k;
+        auto outcome = designArchitecture(prof, opts, "sweep");
+        if (k > 0) {
+            EXPECT_GE(outcome.architecture.numEdges(), prev_edges);
+        }
+        prev_edges = outcome.architecture.numEdges();
+    }
+}
+
+} // namespace

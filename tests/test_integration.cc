@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Cross-module integration and property tests: full pipelines from
+ * QASM text to fabricated-chip statistics, structural invariants of
+ * generated architectures, and determinism of the whole flow.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/ibm.hh"
+#include "benchmarks/suite.hh"
+#include "circuit/decompose.hh"
+#include "circuit/qasm.hh"
+#include "design/design_flow.hh"
+#include "eval/experiment.hh"
+#include "mapping/sabre.hh"
+#include "profile/coupling.hh"
+#include "yield/yield_sim.hh"
+
+namespace
+{
+
+using namespace qpad;
+
+TEST(Integration, QasmTextToChip)
+{
+    // A hand-written program goes through parse -> decompose ->
+    // profile -> design -> map -> yield without manual glue.
+    const char *src = R"(OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[5];
+creg c[5];
+h q[0];
+ccx q[0],q[1],q[2];
+cu1(pi/4) q[2],q[3];
+swap q[3],q[4];
+cx q[4],q[0];
+measure q -> c;
+)";
+    auto circ = circuit::decompose(circuit::parseQasm(src, "inline"));
+    ASSERT_TRUE(circuit::isInBasis(circ));
+
+    auto prof = profile::profileCircuit(circ);
+    design::DesignFlowOptions opts;
+    opts.freq_options.local_trials = 300;
+    auto outcome = design::designArchitecture(prof, opts, "inline");
+
+    auto mapped = mapping::mapCircuit(circ, outcome.architecture);
+    EXPECT_TRUE(
+        mapping::respectsCoupling(mapped.mapped, outcome.architecture));
+
+    yield::YieldOptions yopts;
+    yopts.trials = 500;
+    auto y = yield::estimateYield(outcome.architecture, yopts);
+    EXPECT_GT(y.yield, 0.0); // a 5-qubit chip fabricates often
+}
+
+TEST(Integration, MappedCircuitSurvivesQasmRoundTrip)
+{
+    auto circ = benchmarks::getBenchmark("UCCSD_ansatz_8").generate();
+    auto arch = arch::ibm16Q(true);
+    auto mapped = mapping::mapCircuit(circ, arch);
+    auto reparsed = circuit::parseQasm(circuit::toQasm(mapped.mapped));
+    EXPECT_EQ(reparsed.size(), mapped.mapped.size());
+    EXPECT_EQ(reparsed.twoQubitGateCount(),
+              mapped.mapped.twoQubitGateCount());
+}
+
+class FlowParam : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(FlowParam, DesignedChipInvariants)
+{
+    auto circ = benchmarks::getBenchmark(GetParam()).generate();
+    auto prof = profile::profileCircuit(circ);
+    design::DesignFlowOptions opts;
+    opts.max_buses = 2;
+    opts.freq_options.local_trials = 200;
+    auto outcome = design::designArchitecture(prof, opts, GetParam());
+    const auto &chip = outcome.architecture;
+
+    // Structural invariants of every generated architecture.
+    EXPECT_EQ(chip.numQubits(), circ.numQubits());
+    EXPECT_TRUE(chip.isConnectedGraph());
+    EXPECT_TRUE(chip.frequenciesAssigned());
+    for (double f : chip.frequencies()) {
+        EXPECT_GE(f, arch::DeviceConstants::freq_min_ghz - 1e-9);
+        EXPECT_LE(f, arch::DeviceConstants::freq_max_ghz + 1e-9);
+    }
+
+    // Edge accounting: lattice edges + 2 per full square bus + 1 per
+    // 3-corner square bus.
+    std::size_t expected =
+        chip.layout().latticeEdges().size();
+    for (const auto &origin : chip.fourQubitBuses()) {
+        std::size_t corners = 0;
+        for (int dr = 0; dr <= 1; ++dr)
+            for (int dc = 0; dc <= 1; ++dc)
+                corners +=
+                    chip.layout().occupied(origin.offset(dr, dc));
+        expected += corners == 4 ? 2 : 1;
+    }
+    EXPECT_EQ(chip.numEdges(), expected);
+
+    // The 4-qubit buses honour the prohibited condition pairwise.
+    const auto &buses = chip.fourQubitBuses();
+    for (std::size_t i = 0; i < buses.size(); ++i)
+        for (std::size_t j = i + 1; j < buses.size(); ++j)
+            EXPECT_GT(std::abs(buses[i].row - buses[j].row) +
+                          std::abs(buses[i].col - buses[j].col),
+                      1);
+
+    // The circuit maps legally.
+    auto mapped = mapping::mapCircuit(circ, chip);
+    EXPECT_TRUE(mapping::respectsCoupling(mapped.mapped, chip));
+}
+
+INSTANTIATE_TEST_SUITE_P(Benchmarks, FlowParam,
+                         ::testing::Values("UCCSD_ansatz_8",
+                                           "sym6_145", "dc1_220",
+                                           "z4_268", "cm152a_212",
+                                           "radd_250", "qft_16"),
+                         [](const auto &info) {
+                             std::string n = info.param;
+                             for (auto &c : n)
+                                 if (!isalnum(
+                                         static_cast<unsigned char>(c)))
+                                     c = '_';
+                             return n;
+                         });
+
+TEST(Integration, WholeFlowIsDeterministic)
+{
+    auto circ = benchmarks::getBenchmark("dc1_220").generate();
+    auto prof = profile::profileCircuit(circ);
+    design::DesignFlowOptions opts;
+    opts.max_buses = 2;
+    opts.freq_options.local_trials = 300;
+
+    auto a = design::designArchitecture(prof, opts, "det");
+    auto b = design::designArchitecture(prof, opts, "det");
+    EXPECT_EQ(a.architecture.frequencies(),
+              b.architecture.frequencies());
+    EXPECT_EQ(a.architecture.fourQubitBuses().size(),
+              b.architecture.fourQubitBuses().size());
+    EXPECT_EQ(a.layout.coord_of_logical, b.layout.coord_of_logical);
+
+    auto ma = mapping::mapCircuit(circ, a.architecture);
+    auto mb = mapping::mapCircuit(circ, b.architecture);
+    EXPECT_EQ(ma.total_gates, mb.total_gates);
+
+    yield::YieldOptions yopts;
+    yopts.trials = 1000;
+    EXPECT_DOUBLE_EQ(
+        yield::estimateYield(a.architecture, yopts).yield,
+        yield::estimateYield(b.architecture, yopts).yield);
+}
+
+TEST(Integration, SmallerChipsFabricateMoreOften)
+{
+    // End-to-end restatement of the paper's premise: the 7-qubit
+    // application-specific chip for sym6 beats every 16/20-qubit
+    // general-purpose baseline on yield.
+    auto circ = benchmarks::getBenchmark("sym6_145").generate();
+    auto prof = profile::profileCircuit(circ);
+    design::DesignFlowOptions opts;
+    opts.max_buses = 1;
+    auto outcome = design::designArchitecture(prof, opts, "sym6");
+
+    yield::YieldOptions yopts;
+    yopts.trials = 5000;
+    double eff = yield::estimateYield(outcome.architecture, yopts).yield;
+    for (const auto &baseline : arch::ibmBaselines())
+        EXPECT_GT(eff, yield::estimateYield(baseline, yopts).yield);
+}
+
+TEST(Integration, BusesTradeYieldForPerformance)
+{
+    // Within one program's eff-full family: adding buses must not
+    // increase the mapped gate count by much (performance lever) and
+    // must not increase the yield (hardware-cost lever). Checked
+    // with generous slack for heuristic/MC noise.
+    auto circ = benchmarks::getBenchmark("cm152a_212").generate();
+    auto prof = profile::profileCircuit(circ);
+
+    design::DesignFlowOptions opts;
+    opts.freq_options.local_trials = 2000;
+    yield::YieldOptions yopts;
+    yopts.trials = 20000;
+
+    opts.max_buses = 0;
+    auto k0 = design::designArchitecture(prof, opts, "k0");
+    opts.max_buses = 3;
+    auto k3 = design::designArchitecture(prof, opts, "k3");
+    ASSERT_GT(k3.architecture.fourQubitBuses().size(), 0u);
+
+    auto g0 = mapping::mapCircuit(circ, k0.architecture).total_gates;
+    auto g3 = mapping::mapCircuit(circ, k3.architecture).total_gates;
+    EXPECT_LT(double(g3), 1.05 * double(g0));
+
+    double y0 = yield::estimateYield(k0.architecture, yopts).yield;
+    double y3 = yield::estimateYield(k3.architecture, yopts).yield;
+    EXPECT_GT(y0, y3);
+}
+
+} // namespace

@@ -1,0 +1,265 @@
+/**
+ * @file
+ * Cross-cutting property tests: structural invariants checked over
+ * parameter sweeps (grid shapes, random circuits, random seeds)
+ * rather than single examples.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "arch/architecture.hh"
+#include "arch/ibm.hh"
+#include "circuit/dag.hh"
+#include "circuit/decompose.hh"
+#include "common/rng.hh"
+#include "design/design_flow.hh"
+#include "mapping/sabre.hh"
+#include "profile/coupling.hh"
+#include "sim/statevector.hh"
+#include "yield/yield_sim.hh"
+
+namespace
+{
+
+using namespace qpad;
+using arch::Architecture;
+using arch::Layout;
+using circuit::Circuit;
+using circuit::Qubit;
+
+// --------------------------------------------------------------------
+// Architecture invariants over grid shapes
+// --------------------------------------------------------------------
+
+class GridParam
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(GridParam, EdgeCountFormula)
+{
+    auto [rows, cols] = GetParam();
+    Architecture arch(Layout::grid(rows, cols));
+    EXPECT_EQ(arch.numEdges(),
+              std::size_t(rows * (cols - 1) + cols * (rows - 1)));
+}
+
+TEST_P(GridParam, DistancesAreAMetric)
+{
+    auto [rows, cols] = GetParam();
+    Architecture arch(Layout::grid(rows, cols));
+    const auto &d = arch.distances();
+    const std::size_t n = arch.numQubits();
+    for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(d(i, i), 0);
+        for (std::size_t j = 0; j < n; ++j) {
+            if (i == j)
+                continue;
+            EXPECT_GE(d(i, j), 1);
+            // On a lattice with unit edges, BFS distance equals
+            // Manhattan distance.
+            EXPECT_EQ(d(i, j),
+                      arch::Coord::manhattan(arch.layout().coord(i),
+                                             arch.layout().coord(j)));
+            // Triangle inequality through a third vertex.
+            for (std::size_t k = 0; k < n; k += 3)
+                EXPECT_LE(d(i, j), d(i, k) + d(k, j));
+        }
+    }
+}
+
+TEST_P(GridParam, MaxBusesRespectProhibition)
+{
+    auto [rows, cols] = GetParam();
+    Architecture arch(Layout::grid(rows, cols));
+    arch::addMaxFourQubitBuses(arch);
+    const auto &buses = arch.fourQubitBuses();
+    for (std::size_t i = 0; i < buses.size(); ++i)
+        for (std::size_t j = i + 1; j < buses.size(); ++j)
+            EXPECT_GT(std::abs(buses[i].row - buses[j].row) +
+                          std::abs(buses[i].col - buses[j].col),
+                      1);
+}
+
+TEST_P(GridParam, BusesOnlyAddEdges)
+{
+    auto [rows, cols] = GetParam();
+    Architecture plain(Layout::grid(rows, cols));
+    Architecture bused(Layout::grid(rows, cols));
+    arch::addMaxFourQubitBuses(bused);
+    EXPECT_GE(bused.numEdges(), plain.numEdges());
+    // Every lattice edge survives.
+    for (auto [a, b] : plain.edges())
+        EXPECT_TRUE(bused.connected(a, b));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GridParam,
+    ::testing::Values(std::tuple{1, 2}, std::tuple{2, 2},
+                      std::tuple{2, 8}, std::tuple{3, 3},
+                      std::tuple{4, 5}, std::tuple{3, 7}),
+    [](const auto &info) {
+        return std::to_string(std::get<0>(info.param)) + "x" +
+               std::to_string(std::get<1>(info.param));
+    });
+
+// --------------------------------------------------------------------
+// Random-circuit invariants
+// --------------------------------------------------------------------
+
+Circuit
+randomBasisCircuit(std::size_t n, std::size_t gates, uint64_t seed)
+{
+    Circuit c(n, n, "random");
+    Rng rng(seed);
+    for (std::size_t g = 0; g < gates; ++g) {
+        if (rng.chance(0.4)) {
+            c.rz(rng.uniform(0, 3.14), Qubit(rng.below(n)));
+        } else {
+            Qubit a = Qubit(rng.below(n));
+            Qubit b = Qubit(rng.below(n));
+            if (a != b)
+                c.cx(a, b);
+        }
+    }
+    return c;
+}
+
+class SeedParam : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(SeedParam, ProfileDegreeSumInvariant)
+{
+    Circuit c = randomBasisCircuit(9, 150, GetParam());
+    auto prof = profile::profileCircuit(c);
+    uint64_t degree_sum = 0;
+    for (auto d : prof.degrees)
+        degree_sum += d;
+    EXPECT_EQ(degree_sum, 2 * prof.total_two_qubit_gates);
+    EXPECT_EQ(prof.total_two_qubit_gates, c.twoQubitGateCount());
+    // Degree list is sorted descending.
+    for (std::size_t i = 1; i < prof.degree_list.size(); ++i)
+        EXPECT_GE(prof.degrees[prof.degree_list[i - 1]],
+                  prof.degrees[prof.degree_list[i]]);
+}
+
+TEST_P(SeedParam, DagScheduleBoundsDepth)
+{
+    Circuit c = randomBasisCircuit(7, 120, GetParam() + 100);
+    circuit::DependencyDag dag(c);
+    // ASAP depth can never exceed the gate count and never be less
+    // than the per-qubit serial bound.
+    EXPECT_LE(dag.asapDepth(), c.size());
+    std::vector<std::size_t> per_qubit(7, 0);
+    for (const auto &g : c.gates())
+        for (auto q : g.qubits)
+            ++per_qubit[q];
+    std::size_t serial = 0;
+    for (auto p : per_qubit)
+        serial = std::max(serial, p);
+    EXPECT_GE(dag.asapDepth(), serial);
+    EXPECT_EQ(dag.asapDepth(), c.depth());
+}
+
+TEST_P(SeedParam, MapperAccountingAndLegality)
+{
+    Circuit c = randomBasisCircuit(10, 200, GetParam() + 200);
+    auto arch = arch::ibm16Q(GetParam() % 2 == 0);
+    auto r = mapping::mapCircuit(c, arch);
+    EXPECT_TRUE(mapping::respectsCoupling(r.mapped, arch));
+    EXPECT_EQ(r.total_gates, c.unitaryGateCount() + 3 * r.swaps);
+    // Initial and final mappings are injective.
+    for (auto *m : {&r.initial_mapping, &r.final_mapping}) {
+        std::vector<bool> seen(arch.numQubits(), false);
+        for (auto p : *m) {
+            EXPECT_FALSE(seen[p]);
+            seen[p] = true;
+        }
+    }
+}
+
+TEST_P(SeedParam, MappedCircuitQuantumEquivalent)
+{
+    // Small widths so the state-vector check stays fast.
+    Circuit c = randomBasisCircuit(5, 60, GetParam() + 300);
+    Architecture arch(Layout::grid(2, 3), "grid2x3");
+    auto r = mapping::mapCircuit(c, arch);
+
+    auto extend = [&](const std::vector<arch::PhysQubit> &l2p) {
+        std::vector<uint32_t> perm(arch.numQubits());
+        std::vector<bool> used(arch.numQubits(), false);
+        for (std::size_t l = 0; l < c.numQubits(); ++l) {
+            perm[l] = l2p[l];
+            used[l2p[l]] = true;
+        }
+        std::size_t next = 0;
+        for (std::size_t l = c.numQubits(); l < arch.numQubits();
+             ++l) {
+            while (used[next])
+                ++next;
+            perm[l] = uint32_t(next);
+            used[next] = true;
+        }
+        return perm;
+    };
+
+    sim::StateVector lhs(arch.numQubits());
+    Circuit widened(arch.numQubits(), c.numClbits());
+    widened.append(c);
+    lhs.applyCircuit(widened);
+    lhs = lhs.permuted(extend(r.final_mapping));
+
+    sim::StateVector rhs(arch.numQubits());
+    rhs = rhs.permuted(extend(r.initial_mapping)); // |0..0> invariant
+    rhs.applyCircuit(r.mapped);
+
+    EXPECT_NEAR(lhs.fidelity(rhs), 1.0, 1e-9);
+}
+
+TEST_P(SeedParam, YieldWithinBoundsAndSeedStable)
+{
+    auto arch = arch::ibm16Q(false);
+    yield::YieldOptions opts;
+    opts.trials = 800;
+    opts.seed = GetParam();
+    auto a = yield::estimateYield(arch, opts);
+    auto b = yield::estimateYield(arch, opts);
+    EXPECT_GE(a.yield, 0.0);
+    EXPECT_LE(a.yield, 1.0);
+    EXPECT_EQ(a.successes, b.successes);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedParam,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+// --------------------------------------------------------------------
+// Designed-architecture invariants over the paper suite knobs
+// --------------------------------------------------------------------
+
+class BusCountParam : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(BusCountParam, EffDesignRespectsBudget)
+{
+    auto circ = randomBasisCircuit(10, 250, 999);
+    auto prof = profile::profileCircuit(circ);
+    design::DesignFlowOptions opts;
+    opts.max_buses = GetParam();
+    opts.freq_scheme = design::FreqScheme::FiveFrequency;
+    auto outcome = design::designArchitecture(prof, opts, "budget");
+    EXPECT_LE(outcome.architecture.fourQubitBuses().size(),
+              GetParam());
+    EXPECT_TRUE(outcome.architecture.isConnectedGraph());
+    auto mapped = mapping::mapCircuit(circ, outcome.architecture);
+    EXPECT_TRUE(
+        mapping::respectsCoupling(mapped.mapped, outcome.architecture));
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, BusCountParam,
+                         ::testing::Values(0u, 1u, 2u, 4u, 8u));
+
+} // namespace

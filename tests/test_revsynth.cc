@@ -1,0 +1,365 @@
+/**
+ * @file
+ * Tests for the reversible-synthesis substrate: truth tables, PPRM
+ * extraction, MCT decomposition (exhaustive classical equivalence),
+ * and end-to-end synthesis of the named benchmark functions.
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "benchmarks/functions.hh"
+#include "circuit/decompose.hh"
+#include "common/rng.hh"
+#include "revsynth/mct.hh"
+#include "revsynth/pprm.hh"
+#include "revsynth/synth.hh"
+#include "revsynth/truth_table.hh"
+
+namespace
+{
+
+using namespace qpad;
+using namespace qpad::revsynth;
+
+// --------------------------------------------------------------------
+// TruthTable
+// --------------------------------------------------------------------
+
+TEST(TruthTable, FromFunctionAndAccessors)
+{
+    auto tt = TruthTable::fromFunction(3, 2, [](uint64_t x) {
+        return (x & 1) | ((x >> 1) & 2);
+    }, "probe");
+    EXPECT_EQ(tt.numInputs(), 3u);
+    EXPECT_EQ(tt.numOutputs(), 2u);
+    EXPECT_EQ(tt.numRows(), 8u);
+    EXPECT_TRUE(tt.output(1, 0));
+    EXPECT_FALSE(tt.output(0, 0));
+    EXPECT_TRUE(tt.output(4, 1));
+}
+
+TEST(TruthTable, SetOutputTogglesBits)
+{
+    TruthTable tt(2, 3);
+    tt.setOutput(2, 1, true);
+    EXPECT_TRUE(tt.output(2, 1));
+    EXPECT_FALSE(tt.output(2, 0));
+    tt.setOutput(2, 1, false);
+    EXPECT_FALSE(tt.output(2, 1));
+}
+
+TEST(TruthTable, OnSetSize)
+{
+    auto parity = TruthTable::fromFunction(4, 1, [](uint64_t x) {
+        return uint64_t(std::popcount(x) & 1);
+    });
+    EXPECT_EQ(parity.onSetSize(0), 8u);
+}
+
+TEST(TruthTable, OutputMaskApplied)
+{
+    auto tt = TruthTable::fromFunction(2, 2,
+                                       [](uint64_t) { return 0xffu; });
+    EXPECT_EQ(tt.row(0), 3u);
+}
+
+// --------------------------------------------------------------------
+// PPRM
+// --------------------------------------------------------------------
+
+TEST(Pprm, ConstantZeroHasNoMonomials)
+{
+    TruthTable tt(3, 1);
+    Pprm p = computePprm(tt, 0);
+    EXPECT_TRUE(p.monomials.empty());
+    EXPECT_EQ(p.maxDegree(), 0u);
+}
+
+TEST(Pprm, ConstantOneIsEmptyMonomial)
+{
+    auto tt = TruthTable::fromFunction(2, 1,
+                                       [](uint64_t) { return 1u; });
+    Pprm p = computePprm(tt, 0);
+    ASSERT_EQ(p.monomials.size(), 1u);
+    EXPECT_EQ(p.monomials[0], 0u);
+}
+
+TEST(Pprm, ParityIsAllSingletons)
+{
+    auto tt = TruthTable::fromFunction(4, 1, [](uint64_t x) {
+        return uint64_t(std::popcount(x) & 1);
+    });
+    Pprm p = computePprm(tt, 0);
+    ASSERT_EQ(p.monomials.size(), 4u);
+    for (uint64_t m : p.monomials)
+        EXPECT_EQ(std::popcount(m), 1);
+    EXPECT_EQ(p.maxDegree(), 1u);
+}
+
+TEST(Pprm, AndIsSingleFullMonomial)
+{
+    auto tt = TruthTable::fromFunction(3, 1, [](uint64_t x) {
+        return uint64_t(x == 7);
+    });
+    Pprm p = computePprm(tt, 0);
+    ASSERT_EQ(p.monomials.size(), 1u);
+    EXPECT_EQ(p.monomials[0], 7u);
+}
+
+TEST(Pprm, EvalMatchesTableExhaustivelyOnRandomFunctions)
+{
+    Rng rng(2024);
+    for (int round = 0; round < 20; ++round) {
+        unsigned n = 2 + round % 5; // 2..6 inputs
+        auto tt = TruthTable::fromFunction(n, 1, [&](uint64_t) {
+            return uint64_t(rng.chance(0.5));
+        });
+        Pprm p = computePprm(tt, 0);
+        for (uint64_t x = 0; x < (uint64_t{1} << n); ++x)
+            ASSERT_EQ(p.eval(x), tt.output(x, 0))
+                << "round " << round << " x=" << x;
+    }
+}
+
+TEST(Pprm, AllOutputsComputed)
+{
+    auto tt = TruthTable::fromFunction(3, 3, [](uint64_t x) {
+        return x ^ (x >> 1);
+    });
+    auto all = computeAllPprms(tt);
+    ASSERT_EQ(all.size(), 3u);
+    for (unsigned j = 0; j < 3; ++j)
+        for (uint64_t x = 0; x < 8; ++x)
+            ASSERT_EQ(all[j].eval(x), tt.output(x, j));
+}
+
+// --------------------------------------------------------------------
+// MCT decomposition
+// --------------------------------------------------------------------
+
+/** Reference semantics of one MCT on a basis state. */
+uint64_t
+applyMctRef(const MctGate &g, uint64_t state)
+{
+    for (auto c : g.controls)
+        if (!(state >> c & 1))
+            return state;
+    return state ^ (uint64_t{1} << g.target);
+}
+
+class MctParam : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(MctParam, ExhaustiveEquivalenceWithAllFreeWires)
+{
+    const int k = GetParam(); // number of controls
+    const std::size_t width = k + 2; // controls + target + 1 spare
+    MctGate gate;
+    for (int i = 0; i < k; ++i)
+        gate.controls.push_back(i);
+    gate.target = k;
+
+    std::vector<circuit::Qubit> free_wires;
+    for (std::size_t q = k + 1; q < width; ++q)
+        free_wires.push_back(q);
+
+    circuit::Circuit out(width, width);
+    emitMct(gate, free_wires, out);
+
+    for (uint64_t in = 0; in < (uint64_t{1} << width); ++in)
+        ASSERT_EQ(simulateClassical(out, in), applyMctRef(gate, in))
+            << "k=" << k << " in=" << in;
+}
+
+TEST_P(MctParam, ExhaustiveEquivalenceWithManyDirtyWires)
+{
+    const int k = GetParam();
+    // Plenty of dirty work wires (and at least target + one spare).
+    const std::size_t width = std::max<std::size_t>(2 * k, k + 2);
+    MctGate gate;
+    for (int i = 0; i < k; ++i)
+        gate.controls.push_back(i);
+    gate.target = k;
+
+    std::vector<circuit::Qubit> free_wires;
+    for (std::size_t q = k + 1; q < width; ++q)
+        free_wires.push_back(q);
+
+    circuit::Circuit out(width, width);
+    emitMct(gate, free_wires, out);
+
+    for (uint64_t in = 0; in < (uint64_t{1} << width); ++in)
+        ASSERT_EQ(simulateClassical(out, in), applyMctRef(gate, in));
+}
+
+INSTANTIATE_TEST_SUITE_P(Controls, MctParam,
+                         ::testing::Values(0, 1, 2, 3, 4, 5, 6));
+
+TEST(Mct, DirtyWiresAreRestored)
+{
+    // Covered implicitly by the exhaustive checks above (any change
+    // to a work wire would show up in the full-state comparison);
+    // here we additionally scramble the free wires explicitly.
+    MctGate gate;
+    gate.controls = {0, 1, 2, 3, 4};
+    gate.target = 5;
+    std::vector<circuit::Qubit> free_wires = {6, 7, 8};
+    circuit::Circuit out(9, 9);
+    emitMct(gate, free_wires, out);
+    for (uint64_t scramble : {0b000u, 0b101u, 0b111u}) {
+        uint64_t in = 0b11111u | (scramble << 6);
+        uint64_t result = simulateClassical(out, in);
+        EXPECT_EQ(result >> 6, scramble); // free wires untouched
+        EXPECT_EQ((result >> 5) & 1, 1u); // target flipped
+    }
+}
+
+TEST(Mct, RejectsThreePlusControlsWithNoFreeWire)
+{
+    MctGate gate;
+    gate.controls = {0, 1, 2};
+    gate.target = 3;
+    circuit::Circuit out(4, 4);
+    EXPECT_THROW(emitMct(gate, {}, out), std::logic_error);
+}
+
+TEST(Mct, NetworkSimulationMatchesGateList)
+{
+    MctNetwork net;
+    net.num_qubits = 4;
+    net.gates.push_back({{0, 1}, 2});
+    net.gates.push_back({{2}, 3});
+    net.gates.push_back({{}, 0});
+    uint64_t s = simulateMctNetwork(net, 0b0011);
+    // CCX fires (bits 0,1 set) -> bit 2 set; then CX from bit 2 sets
+    // bit 3; then X flips bit 0 off.
+    EXPECT_EQ(s, 0b1110u);
+}
+
+TEST(Mct, LoweredNetworkMatchesReference)
+{
+    MctNetwork net;
+    net.num_qubits = 6;
+    net.gates.push_back({{0, 1, 2, 3}, 4});
+    net.gates.push_back({{4}, 5});
+    net.gates.push_back({{0, 2, 4}, 1});
+    circuit::Circuit lowered = lowerMctNetwork(net);
+    for (uint64_t in = 0; in < 64; ++in)
+        ASSERT_EQ(simulateClassical(lowered, in),
+                  simulateMctNetwork(net, in));
+}
+
+// --------------------------------------------------------------------
+// Synthesis
+// --------------------------------------------------------------------
+
+void
+checkSynthesizedFunction(const TruthTable &tt, std::size_t width)
+{
+    SynthOptions opts;
+    opts.total_qubits = width;
+    opts.add_measurements = false;
+    opts.lower_to_basis = false; // stay classically simulable
+    SynthResult result = synthesize(tt, opts);
+
+    const unsigned n = tt.numInputs();
+    const unsigned m = tt.numOutputs();
+    for (uint64_t x = 0; x < tt.numRows(); ++x) {
+        uint64_t state = simulateClassical(result.circuit, x);
+        // Inputs preserved.
+        ASSERT_EQ(state & ((uint64_t{1} << n) - 1), x);
+        // Outputs computed.
+        uint64_t outs = (state >> n) & ((uint64_t{1} << m) - 1);
+        ASSERT_EQ(outs, tt.row(x)) << tt.name() << " x=" << x;
+        // Ancillas (if any) restored to zero.
+        ASSERT_EQ(state >> (n + m), 0u);
+    }
+}
+
+TEST(Synth, Adr4AdderCorrect)
+{
+    checkSynthesizedFunction(qpad::benchmarks::adr4Table(), 13);
+}
+
+TEST(Synth, Rd84WeightCorrect)
+{
+    checkSynthesizedFunction(qpad::benchmarks::rd84Table(), 15);
+}
+
+TEST(Synth, Sym6Correct)
+{
+    checkSynthesizedFunction(qpad::benchmarks::sym6Table(), 7);
+}
+
+TEST(Synth, Z4SumCorrect)
+{
+    checkSynthesizedFunction(qpad::benchmarks::z4Table(), 11);
+}
+
+TEST(Synth, SquareRootCorrect)
+{
+    checkSynthesizedFunction(qpad::benchmarks::squareRootTable(), 15);
+}
+
+TEST(Synth, Cm152aMuxCorrect)
+{
+    checkSynthesizedFunction(qpad::benchmarks::cm152aTable(), 12);
+}
+
+TEST(Synth, Dc1Correct)
+{
+    checkSynthesizedFunction(qpad::benchmarks::dc1Table(), 11);
+}
+
+TEST(Synth, Misex1Correct)
+{
+    checkSynthesizedFunction(qpad::benchmarks::misex1Table(), 15);
+}
+
+TEST(Synth, MeasurementsTargetOutputLines)
+{
+    SynthOptions opts;
+    opts.total_qubits = 7;
+    SynthResult result = synthesize(qpad::benchmarks::sym6Table(), opts);
+    std::size_t measures = 0;
+    for (const auto &g : result.circuit.gates())
+        if (g.kind == circuit::GateKind::Measure) {
+            EXPECT_EQ(g.qubits[0], result.outputLine(measures));
+            ++measures;
+        }
+    EXPECT_EQ(measures, 1u);
+}
+
+TEST(Synth, LoweredToBasisByDefault)
+{
+    SynthOptions opts;
+    opts.total_qubits = 7;
+    SynthResult result = synthesize(qpad::benchmarks::sym6Table(), opts);
+    EXPECT_TRUE(circuit::isInBasis(result.circuit));
+}
+
+TEST(Synth, WidthTooSmallIsFatal)
+{
+    EXPECT_THROW(
+        synthesize(qpad::benchmarks::adr4Table(),
+                   {.total_qubits = 9}),
+        std::runtime_error);
+}
+
+TEST(Synth, SortsGatesByDegree)
+{
+    SynthOptions opts;
+    opts.total_qubits = 12;
+    opts.lower_to_basis = false;
+    SynthResult r = synthesize(qpad::benchmarks::rd84Table(), opts);
+    std::size_t prev = 0;
+    for (const auto &g : r.network.gates) {
+        ASSERT_GE(g.controls.size(), prev);
+        prev = g.controls.size();
+    }
+}
+
+} // namespace

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Tests for the bus-contention-aware ASAP scheduler.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/ibm.hh"
+#include "benchmarks/suite.hh"
+#include "mapping/sabre.hh"
+#include "mapping/schedule.hh"
+
+namespace
+{
+
+using namespace qpad;
+using arch::Architecture;
+using arch::Layout;
+using circuit::Circuit;
+using mapping::ScheduleOptions;
+using mapping::scheduleCircuit;
+
+TEST(BusMap, TwoQubitBusesAreDistinct)
+{
+    Architecture arch(Layout::grid(1, 4));
+    auto bus = mapping::busOfEdge(arch);
+    ASSERT_EQ(bus.size(), 3u);
+    EXPECT_NE(bus[0], bus[1]);
+    EXPECT_NE(bus[1], bus[2]);
+}
+
+TEST(BusMap, FourQubitBusSharesOneResonator)
+{
+    Architecture arch(Layout::grid(2, 2));
+    arch.addFourQubitBus({0, 0});
+    auto bus = mapping::busOfEdge(arch);
+    // 6 edges (4 lattice + 2 diagonals), all on one resonator.
+    ASSERT_EQ(bus.size(), 6u);
+    for (auto b : bus)
+        EXPECT_EQ(b, bus[0]);
+}
+
+TEST(BusMap, MixedConfiguration)
+{
+    Architecture arch(Layout::grid(2, 4));
+    arch.addFourQubitBus({0, 0});
+    auto bus = mapping::busOfEdge(arch);
+    std::set<std::size_t> distinct(bus.begin(), bus.end());
+    // One shared square resonator + the remaining plain edges:
+    // 2x4 grid has 10 lattice edges, 4 covered by the square, plus
+    // 2 diagonals -> buses = 1 + 6.
+    EXPECT_EQ(bus.size(), 12u);
+    EXPECT_EQ(distinct.size(), 7u);
+}
+
+TEST(Schedule, SerialChainMakespan)
+{
+    Architecture arch(Layout::grid(1, 2));
+    Circuit c(2);
+    c.cx(0, 1);
+    c.cx(0, 1);
+    c.cx(0, 1);
+    auto s = scheduleCircuit(c, arch);
+    EXPECT_EQ(s.makespan, 6u); // 3 serial 2-cycle gates
+    EXPECT_EQ(s.start[0], 0u);
+    EXPECT_EQ(s.start[2], 4u);
+}
+
+TEST(Schedule, IndependentGatesOverlap)
+{
+    Architecture arch(Layout::grid(1, 4));
+    Circuit c(4);
+    c.cx(0, 1);
+    c.cx(2, 3);
+    auto s = scheduleCircuit(c, arch);
+    EXPECT_EQ(s.makespan, 2u);
+    EXPECT_EQ(s.start[1], 0u);
+    EXPECT_GT(s.parallel_cycles, 0u);
+}
+
+TEST(Schedule, SharedBusSerializesDisjointPairs)
+{
+    // On a 4-qubit-bus square, (0,1) and (2,3) are disjoint qubit
+    // pairs but share the resonator: they must serialize.
+    Architecture arch(Layout::grid(2, 2));
+    arch.addFourQubitBus({0, 0});
+    Circuit c(4);
+    c.cx(0, 1);
+    c.cx(2, 3);
+    auto s = scheduleCircuit(c, arch);
+    EXPECT_EQ(s.makespan, 4u);
+    EXPECT_EQ(s.bus_stall_cycles, 2u);
+
+    // The same two gates on a plain 2x2 grid overlap freely.
+    Architecture plain(Layout::grid(2, 2));
+    auto sp = scheduleCircuit(c, plain);
+    EXPECT_EQ(sp.makespan, 2u);
+    EXPECT_EQ(sp.bus_stall_cycles, 0u);
+}
+
+TEST(Schedule, MeasureDuration)
+{
+    Architecture arch(Layout::grid(1, 2));
+    Circuit c(2, 2);
+    c.measure(0, 0);
+    ScheduleOptions opts;
+    opts.cycles_measure = 7;
+    auto s = scheduleCircuit(c, arch, opts);
+    EXPECT_EQ(s.makespan, 7u);
+}
+
+TEST(Schedule, BarrierSynchronizes)
+{
+    Architecture arch(Layout::grid(1, 3));
+    Circuit c(3);
+    c.h(0);
+    c.barrier();
+    c.h(1);
+    auto s = scheduleCircuit(c, arch);
+    EXPECT_EQ(s.start[2], 1u);
+    EXPECT_EQ(s.makespan, 2u);
+}
+
+TEST(Schedule, RejectsIllegalGates)
+{
+    Architecture arch(Layout::grid(1, 3));
+    Circuit c(3);
+    c.cx(0, 2); // not coupled
+    EXPECT_THROW(scheduleCircuit(c, arch), std::logic_error);
+}
+
+TEST(Schedule, MappedBenchmarkEndToEnd)
+{
+    auto circ = benchmarks::getBenchmark("UCCSD_ansatz_8").generate();
+    auto arch = arch::ibm16Q(true);
+    auto mapped = mapping::mapCircuit(circ, arch);
+    auto s = scheduleCircuit(mapped.mapped, arch);
+    EXPECT_GT(s.makespan, 0u);
+    // Makespan is bounded by fully-serial execution.
+    std::size_t serial = 0;
+    for (const auto &g : mapped.mapped.gates()) {
+        if (g.kind == circuit::GateKind::Barrier)
+            continue;
+        serial += g.isTwoQubit() ? 2 : (g.isSingleQubit() ? 1 : 5);
+    }
+    EXPECT_LE(s.makespan, serial);
+    EXPECT_GE(s.parallelism, 1.0);
+}
+
+TEST(Schedule, BusContentionOnlyHurtsBusedChips)
+{
+    auto circ = benchmarks::getBenchmark("qft_16").generate();
+    auto plain = arch::ibm16Q(false);
+    auto mapped = mapping::mapCircuit(circ, plain);
+    auto s = scheduleCircuit(mapped.mapped, plain);
+    EXPECT_EQ(s.bus_stall_cycles, 0u);
+}
+
+} // namespace

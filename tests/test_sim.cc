@@ -1,0 +1,308 @@
+/**
+ * @file
+ * State-vector simulator tests, plus quantum-equivalence checks of
+ * the composite-gate lowering, the synthesized Toffoli networks and
+ * the SABRE mapper (up-to-permutation).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "arch/architecture.hh"
+#include "benchmarks/generators.hh"
+#include "circuit/decompose.hh"
+#include "common/rng.hh"
+#include "mapping/sabre.hh"
+#include "revsynth/synth.hh"
+#include "revsynth/truth_table.hh"
+#include "sim/statevector.hh"
+
+namespace
+{
+
+using namespace qpad;
+using circuit::Circuit;
+using circuit::Gate;
+using circuit::GateKind;
+using sim::StateVector;
+
+constexpr double kTol = 1e-9;
+
+TEST(StateVector, InitialStateIsZeroKet)
+{
+    StateVector sv(3);
+    EXPECT_NEAR(std::abs(sv.amp(0)), 1.0, kTol);
+    EXPECT_NEAR(sv.norm(), 1.0, kTol);
+    EXPECT_NEAR(sv.probabilityOne(0), 0.0, kTol);
+}
+
+TEST(StateVector, XFlipsBasisState)
+{
+    StateVector sv(2);
+    sv.apply(Gate(GateKind::X, {1}));
+    EXPECT_NEAR(std::abs(sv.amp(0b10)), 1.0, kTol);
+    EXPECT_NEAR(sv.probabilityOne(1), 1.0, kTol);
+}
+
+TEST(StateVector, HadamardSuperposesAndInverts)
+{
+    StateVector sv(1);
+    sv.apply(Gate(GateKind::H, {0}));
+    EXPECT_NEAR(std::abs(sv.amp(0)), 1.0 / std::sqrt(2.0), kTol);
+    EXPECT_NEAR(sv.probabilityOne(0), 0.5, kTol);
+    sv.apply(Gate(GateKind::H, {0}));
+    EXPECT_NEAR(std::abs(sv.amp(0)), 1.0, kTol);
+}
+
+TEST(StateVector, BellStateFromHCx)
+{
+    StateVector sv(2);
+    sv.apply(Gate(GateKind::H, {0}));
+    sv.apply(Gate(GateKind::CX, {0, 1}));
+    EXPECT_NEAR(std::norm(sv.amp(0b00)), 0.5, kTol);
+    EXPECT_NEAR(std::norm(sv.amp(0b11)), 0.5, kTol);
+    EXPECT_NEAR(std::norm(sv.amp(0b01)), 0.0, kTol);
+}
+
+TEST(StateVector, RandomStateIsNormalized)
+{
+    auto sv = StateVector::random(6, 42);
+    EXPECT_NEAR(sv.norm(), 1.0, kTol);
+    auto sv2 = StateVector::random(6, 42);
+    EXPECT_NEAR(sv.fidelity(sv2), 1.0, kTol);
+    auto sv3 = StateVector::random(6, 43);
+    EXPECT_LT(sv.fidelity(sv3), 0.5);
+}
+
+TEST(StateVector, PermutationRelabelsQubits)
+{
+    StateVector sv = StateVector::basis(3, 0b001);
+    auto moved = sv.permuted({2, 0, 1}); // qubit0 -> position2
+    EXPECT_NEAR(std::abs(moved.amp(0b100)), 1.0, kTol);
+}
+
+TEST(StateVector, RejectsMeasurement)
+{
+    StateVector sv(1);
+    Gate g(GateKind::Measure, {0});
+    EXPECT_THROW(sv.apply(g), std::logic_error);
+}
+
+TEST(StateVector, UnitarityOfEveryOneQubitKind)
+{
+    using K = GateKind;
+    for (K kind : {K::I, K::X, K::Y, K::Z, K::H, K::S, K::Sdg, K::T,
+                   K::Tdg, K::SX, K::SXdg}) {
+        auto sv = StateVector::random(3, 7);
+        sv.apply(Gate(kind, {1}));
+        EXPECT_NEAR(sv.norm(), 1.0, kTol) << gateKindName(kind);
+    }
+    for (K kind : {K::RX, K::RY, K::RZ, K::P}) {
+        auto sv = StateVector::random(3, 8);
+        sv.apply(Gate(kind, {2}, {0.731}));
+        EXPECT_NEAR(sv.norm(), 1.0, kTol) << gateKindName(kind);
+    }
+}
+
+// --------------------------------------------------------------------
+// Quantum equivalence of the composite-gate lowering
+// --------------------------------------------------------------------
+
+void
+checkLoweringEquivalence(const Gate &gate, std::size_t width,
+                         uint64_t seed)
+{
+    Circuit composite(width);
+    composite.add(gate);
+    Circuit lowered = circuit::decompose(composite);
+
+    auto a = StateVector::random(width, seed);
+    auto b = a;
+    a.applyCircuit(composite);
+    b.applyCircuit(lowered);
+    EXPECT_NEAR(a.fidelity(b), 1.0, 1e-9) << gate.str();
+}
+
+TEST(Lowering, CzEquivalent)
+{
+    checkLoweringEquivalence(Gate(GateKind::CZ, {0, 2}), 3, 11);
+}
+
+TEST(Lowering, CpEquivalent)
+{
+    checkLoweringEquivalence(Gate(GateKind::CP, {1, 0}, {0.413}), 3,
+                             12);
+}
+
+TEST(Lowering, CrzEquivalent)
+{
+    checkLoweringEquivalence(Gate(GateKind::CRZ, {0, 1}, {1.17}), 2,
+                             13);
+}
+
+TEST(Lowering, RzzEquivalent)
+{
+    checkLoweringEquivalence(Gate(GateKind::RZZ, {0, 1}, {0.77}), 2,
+                             14);
+}
+
+TEST(Lowering, SwapEquivalent)
+{
+    checkLoweringEquivalence(Gate(GateKind::SWAP, {0, 2}), 3, 15);
+}
+
+TEST(Lowering, ToffoliEquivalent)
+{
+    checkLoweringEquivalence(Gate(GateKind::CCX, {0, 1, 2}), 3, 16);
+}
+
+TEST(Lowering, CswapEquivalent)
+{
+    checkLoweringEquivalence(Gate(GateKind::CSWAP, {0, 1, 2}), 3, 17);
+}
+
+// --------------------------------------------------------------------
+// QFT correctness against the DFT definition
+// --------------------------------------------------------------------
+
+TEST(Qft, MatchesDiscreteFourierTransform)
+{
+    const std::size_t n = 4;
+    const std::size_t dim = 1 << n;
+    for (uint64_t x : {uint64_t(0), uint64_t(5), uint64_t(13)}) {
+        auto sv = StateVector::basis(n, x);
+        sv.applyCircuit(benchmarks::qft(n, false));
+        // Our QFT omits the final reversal swaps (amplitude of basis
+        // state k carries the phase of the bit-reversed index) and
+        // the RZ-based CP lowering adds a global phase, so compare
+        // via the overlap, not amplitude by amplitude.
+        // The circuit treats qubit 0 as the textbook MSB, so with
+        // our LSB-first indices the input enters bit-reversed.
+        uint64_t x_rev = 0;
+        for (std::size_t b = 0; b < n; ++b)
+            if (x >> b & 1)
+                x_rev |= uint64_t{1} << (n - 1 - b);
+        std::complex<double> overlap{0.0, 0.0};
+        for (uint64_t k = 0; k < dim; ++k) {
+            double phase = 2.0 * M_PI * double(x_rev * k) / double(dim);
+            std::complex<double> expect =
+                std::exp(std::complex<double>(0, phase)) /
+                std::sqrt(double(dim));
+            overlap += std::conj(expect) * sv.amp(k);
+        }
+        EXPECT_NEAR(std::abs(overlap), 1.0, 1e-9) << "x=" << x;
+    }
+}
+
+// --------------------------------------------------------------------
+// Synthesized circuits: full quantum check of the T-gate networks
+// --------------------------------------------------------------------
+
+TEST(Synthesis, LoweredNetworkActsCorrectlyOnBasisStates)
+{
+    // 3-input majority: small enough to simulate the fully lowered
+    // {1q, CX} circuit (T-gate Toffolis included) on every input.
+    auto tt = revsynth::TruthTable::fromFunction(3, 1, [](uint64_t x) {
+        int w = int(x & 1) + int(x >> 1 & 1) + int(x >> 2 & 1);
+        return uint64_t(w >= 2);
+    }, "maj3");
+    revsynth::SynthOptions opts;
+    opts.total_qubits = 5;
+    opts.add_measurements = false;
+    auto synth = revsynth::synthesize(tt, opts);
+
+    for (uint64_t x = 0; x < 8; ++x) {
+        auto sv = StateVector::basis(5, x);
+        sv.applyCircuit(synth.circuit);
+        uint64_t expect = x | (tt.output(x, 0) ? 8u : 0u);
+        EXPECT_NEAR(std::norm(sv.amp(expect)), 1.0, 1e-9) << x;
+    }
+}
+
+// --------------------------------------------------------------------
+// Mapper: quantum equivalence up to the qubit relabeling
+// --------------------------------------------------------------------
+
+void
+checkMappedEquivalence(const Circuit &logical,
+                       const arch::Architecture &arch, uint64_t seed)
+{
+    auto result = mapping::mapCircuit(logical, arch);
+    const std::size_t n_phys = arch.numQubits();
+    const std::size_t n_logical = logical.numQubits();
+
+    // Extend an l2p map over the logical qubits to a permutation of
+    // the whole chip: spare (all-|0>) wires absorb the remaining
+    // physical positions in id order.
+    auto extend = [&](const std::vector<arch::PhysQubit> &map_l2p) {
+        std::vector<uint32_t> perm(n_phys);
+        std::vector<bool> used(n_phys, false);
+        for (std::size_t l = 0; l < n_logical; ++l) {
+            perm[l] = map_l2p[l];
+            used[map_l2p[l]] = true;
+        }
+        std::size_t next = 0;
+        for (std::size_t l = n_logical; l < n_phys; ++l) {
+            while (used[next])
+                ++next;
+            perm[l] = uint32_t(next);
+            used[next] = true;
+        }
+        return perm;
+    };
+
+    // Prepare a pseudo-random entangled state on the low n_logical
+    // qubits of a chip-sized register (spare qubits stay |0>).
+    StateVector prepared(n_phys);
+    {
+        Circuit stub(n_phys);
+        Rng rng(seed);
+        for (int layer = 0; layer < 3; ++layer) {
+            for (std::size_t q = 0; q < n_logical; ++q) {
+                stub.ry(rng.uniform(0, M_PI), circuit::Qubit(q));
+                stub.rz(rng.uniform(0, M_PI), circuit::Qubit(q));
+            }
+            for (std::size_t q = 0; q + 1 < n_logical; q += 2)
+                stub.cx(circuit::Qubit(q), circuit::Qubit(q + 1));
+        }
+        prepared.applyCircuit(stub);
+    }
+
+    // Left side: logical circuit on the prepared state, relabeled by
+    // the final mapping afterwards.
+    StateVector lhs = prepared;
+    Circuit widened_logical(n_phys, logical.numClbits());
+    widened_logical.append(logical);
+    lhs.applyCircuit(widened_logical);
+    lhs = lhs.permuted(extend(result.final_mapping));
+
+    // Right side: relabel by the initial mapping first, then run the
+    // physical (mapped) circuit.
+    StateVector rhs = prepared.permuted(extend(result.initial_mapping));
+    rhs.applyCircuit(result.mapped);
+
+    EXPECT_NEAR(lhs.fidelity(rhs), 1.0, 1e-9);
+}
+
+TEST(MappedEquivalence, GhzOnGrid)
+{
+    arch::Architecture arch(arch::Layout::grid(2, 3), "grid2x3");
+    checkMappedEquivalence(benchmarks::ghz(5, false), arch, 21);
+}
+
+TEST(MappedEquivalence, QftOnGrid)
+{
+    arch::Architecture arch(arch::Layout::grid(2, 4), "grid2x4");
+    checkMappedEquivalence(benchmarks::qft(6, false), arch, 22);
+}
+
+TEST(MappedEquivalence, UccsdOnBusedChip)
+{
+    arch::Architecture arch(arch::Layout::grid(2, 4), "grid2x4b");
+    arch.addFourQubitBus({0, 0});
+    arch.addFourQubitBus({0, 2});
+    checkMappedEquivalence(benchmarks::uccsdAnsatz(8, false), arch, 23);
+}
+
+} // namespace

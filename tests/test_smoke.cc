@@ -1,0 +1,52 @@
+/**
+ * @file
+ * End-to-end smoke test: profile a small benchmark, design an
+ * architecture, map the circuit onto it and simulate its yield.
+ */
+
+#include <gtest/gtest.h>
+
+#include "benchmarks/generators.hh"
+#include "design/design_flow.hh"
+#include "mapping/sabre.hh"
+#include "profile/coupling.hh"
+#include "yield/yield_sim.hh"
+
+namespace
+{
+
+using namespace qpad;
+
+TEST(Smoke, EndToEndFlow)
+{
+    circuit::Circuit circ = benchmarks::uccsdAnsatz(8);
+    ASSERT_GT(circ.twoQubitGateCount(), 0u);
+
+    profile::CouplingProfile prof = profile::profileCircuit(circ);
+    EXPECT_EQ(prof.num_qubits, 8u);
+
+    design::DesignFlowOptions options;
+    options.max_buses = 2;
+    options.freq_options.local_trials = 500;
+    design::DesignOutcome outcome =
+        design::designArchitecture(prof, options, "smoke");
+
+    ASSERT_EQ(outcome.architecture.numQubits(), 8u);
+    EXPECT_TRUE(outcome.architecture.isConnectedGraph());
+    EXPECT_TRUE(outcome.architecture.frequenciesAssigned());
+
+    mapping::MappingResult mapped =
+        mapping::mapCircuit(circ, outcome.architecture);
+    EXPECT_TRUE(mapping::respectsCoupling(mapped.mapped,
+                                          outcome.architecture));
+    EXPECT_GE(mapped.total_gates, circ.unitaryGateCount());
+
+    yield::YieldOptions yopts;
+    yopts.trials = 500;
+    yield::YieldResult yr =
+        yield::estimateYield(outcome.architecture, yopts);
+    EXPECT_GE(yr.yield, 0.0);
+    EXPECT_LE(yr.yield, 1.0);
+}
+
+} // namespace

@@ -1,0 +1,263 @@
+/**
+ * @file
+ * Tests for the collision model (Figure 3) and the Monte Carlo yield
+ * simulator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/ibm.hh"
+#include "yield/yield_sim.hh"
+
+namespace
+{
+
+using namespace qpad;
+using namespace qpad::yield;
+using arch::Architecture;
+using arch::Layout;
+
+const CollisionModel kModel{};
+
+// --------------------------------------------------------------------
+// Pair conditions 1-4
+// --------------------------------------------------------------------
+
+TEST(Collision, Condition1EqualFrequencies)
+{
+    EXPECT_TRUE(pairCollides(kModel, 5.10, 5.10));
+    EXPECT_TRUE(pairCollides(kModel, 5.10, 5.116)); // inside 17 MHz
+    EXPECT_FALSE(pairCollides(kModel, 5.10, 5.118)); // outside
+}
+
+TEST(Collision, Condition2HalfAnharmonicity)
+{
+    // f_j ~ f_k - delta/2 = f_k + 0.17, threshold 4 MHz.
+    EXPECT_TRUE(pairCollides(kModel, 5.27, 5.10));
+    EXPECT_TRUE(pairCollides(kModel, 5.273, 5.10));
+    EXPECT_FALSE(pairCollides(kModel, 5.275, 5.10));
+    // Symmetric orientation.
+    EXPECT_TRUE(pairCollides(kModel, 5.10, 5.27));
+}
+
+TEST(Collision, Condition3FullAnharmonicity)
+{
+    // f_j ~ f_k + 0.34, threshold 25 MHz. Frequencies out of the
+    // normal band are legal inputs for the model.
+    EXPECT_TRUE(pairCollides(kModel, 5.44, 5.10));
+    EXPECT_TRUE(pairCollides(kModel, 5.42, 5.10));
+    EXPECT_FALSE(pairCollides(kModel, 5.41, 5.10));
+}
+
+TEST(Collision, Condition4SlowGateRegion)
+{
+    // f_j > f_k + 0.34 in either orientation.
+    EXPECT_TRUE(pairCollides(kModel, 5.50, 5.10));
+    EXPECT_TRUE(pairCollides(kModel, 5.10, 5.50));
+}
+
+TEST(Collision, SafePairDoesNotCollide)
+{
+    EXPECT_FALSE(pairCollides(kModel, 5.10, 5.17));
+    EXPECT_FALSE(pairCollides(kModel, 5.00, 5.10));
+    EXPECT_FALSE(pairCollides(kModel, 5.05, 5.30));
+}
+
+// --------------------------------------------------------------------
+// Triple conditions 5-7
+// --------------------------------------------------------------------
+
+TEST(Collision, Condition5SpectatorDegeneracy)
+{
+    EXPECT_TRUE(tripleCollides(kModel, 5.10, 5.20, 5.20));
+    EXPECT_TRUE(tripleCollides(kModel, 5.10, 5.20, 5.21));
+    EXPECT_FALSE(tripleCollides(kModel, 5.10, 5.20, 5.24));
+}
+
+TEST(Collision, Condition6SpectatorAnharmonicity)
+{
+    // f_i ~ f_k + 0.34 (threshold 25 MHz), either orientation.
+    EXPECT_TRUE(tripleCollides(kModel, 5.10, 5.00, 5.34));
+    EXPECT_TRUE(tripleCollides(kModel, 5.10, 5.34, 5.00));
+    EXPECT_FALSE(tripleCollides(kModel, 5.10, 5.04, 5.30));
+}
+
+TEST(Collision, Condition7TwoPhoton)
+{
+    // 2 f_j + delta ~ f_k + f_i, threshold 17 MHz.
+    // Pick f_j = 5.20: 2*5.20 - 0.34 = 10.06.
+    EXPECT_TRUE(tripleCollides(kModel, 5.20, 5.00, 5.06));
+    EXPECT_TRUE(tripleCollides(kModel, 5.20, 5.03, 5.04));
+    EXPECT_FALSE(tripleCollides(kModel, 5.20, 5.00, 5.10));
+}
+
+TEST(Collision, SafeTripleDoesNotCollide)
+{
+    EXPECT_FALSE(tripleCollides(kModel, 5.17, 5.05, 5.29));
+}
+
+// --------------------------------------------------------------------
+// Checker term extraction
+// --------------------------------------------------------------------
+
+TEST(Checker, ExtractsPairAndTripleTerms)
+{
+    // Path of three qubits: edges (0,1), (1,2); one triple (j=1).
+    Architecture arch(Layout::grid(1, 3));
+    CollisionChecker checker(arch);
+    EXPECT_EQ(checker.pairs().size(), 2u);
+    ASSERT_EQ(checker.triples().size(), 1u);
+    EXPECT_EQ(checker.triples()[0].j, 1u);
+}
+
+TEST(Checker, TriplesGrowWithDegree)
+{
+    // 2x2 grid with a 4-qubit bus: every vertex has degree 3, so
+    // each contributes C(3,2) = 3 triples.
+    Architecture arch(Layout::grid(2, 2));
+    arch.addFourQubitBus({0, 0});
+    CollisionChecker checker(arch);
+    EXPECT_EQ(checker.pairs().size(), 6u);
+    EXPECT_EQ(checker.triples().size(), 12u);
+}
+
+TEST(Checker, AnyCollisionMatchesCounts)
+{
+    Architecture arch(Layout::grid(1, 3));
+    CollisionChecker checker(arch);
+    std::vector<double> safe = {5.05, 5.17, 5.29};
+    EXPECT_FALSE(checker.anyCollision(safe));
+    auto counts = checker.countCollisions(safe);
+    for (int c = 1; c <= 7; ++c)
+        EXPECT_EQ(counts[c], 0u) << "condition " << c;
+
+    std::vector<double> bad = {5.05, 5.05, 5.29}; // condition 1
+    EXPECT_TRUE(checker.anyCollision(bad));
+    EXPECT_GT(checker.countCollisions(bad)[1], 0u);
+}
+
+// --------------------------------------------------------------------
+// Monte Carlo yield
+// --------------------------------------------------------------------
+
+TEST(YieldSim, PerfectYieldWithTinyNoise)
+{
+    Architecture arch(Layout::grid(1, 3));
+    arch.setAllFrequencies({5.05, 5.17, 5.29});
+    YieldOptions opts;
+    opts.trials = 2000;
+    opts.sigma_ghz = 1e-6;
+    auto r = estimateYield(arch, opts);
+    EXPECT_DOUBLE_EQ(r.yield, 1.0);
+    EXPECT_EQ(r.successes, r.trials);
+}
+
+TEST(YieldSim, ZeroYieldForDegenerateFrequencies)
+{
+    Architecture arch(Layout::grid(1, 2));
+    arch.setAllFrequencies({5.17, 5.17});
+    YieldOptions opts;
+    opts.trials = 2000;
+    opts.sigma_ghz = 1e-4; // noise too small to escape condition 1
+    auto r = estimateYield(arch, opts);
+    EXPECT_DOUBLE_EQ(r.yield, 0.0);
+}
+
+TEST(YieldSim, DeterministicForEqualSeeds)
+{
+    auto arch = arch::ibm16Q(false);
+    YieldOptions opts;
+    opts.trials = 3000;
+    opts.seed = 77;
+    auto a = estimateYield(arch, opts);
+    auto b = estimateYield(arch, opts);
+    EXPECT_DOUBLE_EQ(a.yield, b.yield);
+    opts.seed = 78;
+    auto c = estimateYield(arch, opts);
+    EXPECT_NE(a.successes, c.successes);
+}
+
+TEST(YieldSim, MoreConnectionsLowerYield)
+{
+    // The same 16-qubit chip with 4-qubit buses must yield strictly
+    // less under identical noise (statistically robust at 20k
+    // trials: the bused chip adds 8 edges and many triples).
+    YieldOptions opts;
+    opts.trials = 20000;
+    double plain = estimateYield(arch::ibm16Q(false), opts).yield;
+    double bused = estimateYield(arch::ibm16Q(true), opts).yield;
+    EXPECT_GT(plain, bused);
+}
+
+TEST(YieldSim, SmallerSigmaImprovesYield)
+{
+    auto arch = arch::ibm16Q(false);
+    YieldOptions coarse, fine;
+    coarse.trials = fine.trials = 20000;
+    coarse.sigma_ghz = 0.030;
+    fine.sigma_ghz = 0.010;
+    EXPECT_GT(estimateYield(arch, fine).yield,
+              estimateYield(arch, coarse).yield);
+}
+
+TEST(YieldSim, ConditionStatsAccumulate)
+{
+    auto arch = arch::ibm16Q(true);
+    YieldOptions opts;
+    opts.trials = 2000;
+    opts.collect_condition_stats = true;
+    auto r = estimateYield(arch, opts);
+    std::size_t total = 0;
+    for (int c = 1; c <= 7; ++c)
+        total += r.condition_trials[c];
+    EXPECT_GT(total, 0u);
+    // Success + at-least-one-condition trials cover everything.
+    EXPECT_GE(total + r.successes, r.trials);
+}
+
+TEST(YieldSim, StderrEstimateSane)
+{
+    YieldResult r;
+    r.yield = 0.5;
+    r.trials = 10000;
+    EXPECT_NEAR(r.stderrEstimate(), 0.005, 1e-6);
+    r.yield = 0.0;
+    EXPECT_DOUBLE_EQ(r.stderrEstimate(), 0.0);
+}
+
+TEST(YieldSim, RequiresAssignedFrequencies)
+{
+    Architecture arch(Layout::grid(1, 2));
+    EXPECT_THROW(estimateYield(arch, {}), std::logic_error);
+}
+
+TEST(LocalSim, EmptyTermsYieldOne)
+{
+    LocalYieldSimulator sim({}, {}, kModel, {});
+    Rng rng(1);
+    std::vector<double> freqs = {5.1};
+    EXPECT_DOUBLE_EQ(sim.simulate(freqs, 0.03, 100, rng), 1.0);
+}
+
+TEST(LocalSim, MatchesGlobalOnTinyChip)
+{
+    // On a 2-qubit chip the local region of the pair IS the chip,
+    // so local and global simulations must agree statistically.
+    Architecture arch(Layout::grid(1, 2));
+    arch.setAllFrequencies({5.08, 5.17});
+    CollisionChecker checker(arch);
+
+    YieldOptions opts;
+    opts.trials = 40000;
+    opts.seed = 5;
+    double global = estimateYield(arch, opts).yield;
+
+    LocalYieldSimulator sim(checker.pairs(), checker.triples(), kModel,
+                            {0, 1});
+    Rng rng(6);
+    double local =
+        sim.simulate(arch.frequencies(), opts.sigma_ghz, 40000, rng);
+    EXPECT_NEAR(local, global, 0.01);
+}
+
+} // namespace
