@@ -5,7 +5,9 @@
  * Every bench honours the QPAD_FAST environment variable (any
  * non-empty value) to run with reduced Monte Carlo budgets during
  * development; the default budgets follow the paper (10,000 yield
- * trials, sigma = 30 MHz).
+ * trials, sigma = 30 MHz). QPAD_THREADS caps the worker count of the
+ * parallel runtime (0 or unset = one per hardware thread, 1 =
+ * sequential); results are identical for every setting.
  */
 
 #ifndef QPAD_BENCH_BENCH_COMMON_HH
@@ -23,6 +25,17 @@ fastMode()
 {
     const char *fast = std::getenv("QPAD_FAST");
     return fast && *fast;
+}
+
+/** Worker-thread override from QPAD_THREADS (0 = hardware). */
+inline runtime::Options
+execOptions()
+{
+    runtime::Options exec;
+    const char *threads = std::getenv("QPAD_THREADS");
+    if (threads && *threads)
+        exec.num_threads = std::strtoul(threads, nullptr, 10);
+    return exec;
 }
 
 /** Paper-fidelity experiment options (or scaled-down in fast mode). */
@@ -44,6 +57,11 @@ paperOptions()
         opts.random_bus_samples = 5;
     }
     opts.yield_options.sigma_ghz = 0.030; // paper Section 5.1
+    // Parallel runtime: data points, yield shards, and the frequency
+    // allocator's candidate scan all share the worker budget.
+    opts.exec = execOptions();
+    opts.yield_options.exec = opts.exec;
+    opts.freq_options.exec = opts.exec;
     return opts;
 }
 

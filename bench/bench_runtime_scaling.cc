@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Microbenchmark for the qpad::runtime execution engine: wall-clock
+ * speedup of the sharded Monte Carlo yield estimator as the thread
+ * count grows, on the paper's 10k-trial workload (ibm-16q with
+ * 4-qubit buses, sigma = 30 MHz). Also verifies on the fly that the
+ * tallies are bit-identical at every thread count — the determinism
+ * contract of runtime::SeedSequence.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+#include <thread>
+
+#include "arch/ibm.hh"
+#include "bench_common.hh"
+#include "eval/report.hh"
+#include "yield/yield_sim.hh"
+
+using namespace qpad;
+
+namespace
+{
+
+double
+timedYield(const arch::Architecture &arch,
+           const yield::YieldOptions &opts, yield::YieldResult &out)
+{
+    using clock = std::chrono::steady_clock;
+    auto t0 = clock::now();
+    out = yield::estimateYield(arch, opts);
+    auto t1 = clock::now();
+    return std::chrono::duration<double>(t1 - t0).count();
+}
+
+} // namespace
+
+int
+main()
+{
+    eval::printHeader(std::cout,
+                      "Runtime scaling: sharded yield Monte Carlo");
+
+    // The plain (unbused) 16-qubit grid has a nonzero yield at the
+    // paper's sigma, so the cross-thread-count tally check is
+    // non-vacuous.
+    auto arch = arch::ibm16Q(false);
+    yield::YieldOptions opts;
+    opts.trials = bench::fastMode() ? 10000 : 100000;
+    opts.sigma_ghz = 0.030;
+    opts.seed = 2020;
+
+    const unsigned hw = std::thread::hardware_concurrency();
+    std::printf("hardware threads: %u, trials per estimate: %zu\n\n",
+                hw, opts.trials);
+
+    // Warm up the global pool and the caches.
+    opts.exec.num_threads = 0;
+    yield::YieldResult warmup;
+    timedYield(arch, opts, warmup);
+
+    opts.exec.num_threads = 1;
+    yield::YieldResult reference;
+    // Median-of-3 to dampen scheduler noise.
+    double t1 = 1e300;
+    for (int rep = 0; rep < 3; ++rep) {
+        yield::YieldResult r;
+        t1 = std::min(t1, timedYield(arch, opts, r));
+        reference = r;
+    }
+    std::printf("%8s %12s %10s %12s\n", "threads", "seconds",
+                "speedup", "successes");
+    std::printf("%8zu %12.4f %10.2fx %12zu\n", std::size_t{1}, t1, 1.0,
+                reference.successes);
+
+    for (std::size_t threads : {2u, 4u, 8u}) {
+        opts.exec.num_threads = threads;
+        double t = 1e300;
+        yield::YieldResult r;
+        for (int rep = 0; rep < 3; ++rep)
+            t = std::min(t, timedYield(arch, opts, r));
+        std::printf("%8zu %12.4f %10.2fx %12zu%s\n", threads, t,
+                    t1 / t, r.successes,
+                    r.successes == reference.successes
+                        ? ""
+                        : "  MISMATCH!");
+        if (r.successes != reference.successes)
+            return 1;
+    }
+
+    std::printf("\nall thread counts produced identical tallies\n");
+    return 0;
+}

@@ -113,4 +113,19 @@ Rng::split()
     return Rng(next() ^ 0xd2b74407b1ce6e93ull);
 }
 
+uint64_t
+Rng::childSeed(uint64_t seed, uint64_t stream)
+{
+    uint64_t state = seed;
+    uint64_t diffused = splitMix64(state);
+    state = diffused ^ ((stream + 1) * 0xd2b74407b1ce6e93ull);
+    return splitMix64(state);
+}
+
+Rng
+Rng::forStream(uint64_t seed, uint64_t stream)
+{
+    return Rng(childSeed(seed, stream));
+}
+
 } // namespace qpad

@@ -54,6 +54,32 @@ class Rng
     /** Split off an independent child stream (for parallel phases). */
     Rng split();
 
+    /**
+     * Stateless seed splitting, the basis of deterministic parallel
+     * Monte Carlo (see runtime/seed_seq.hh).
+     *
+     * Scheme: the base seed is first diffused through one SplitMix64
+     * step, then XOR-combined with the stream index scaled by an odd
+     * 64-bit constant (so distinct streams differ in many bits), and
+     * finally passed through SplitMix64 again:
+     *
+     *   child(seed, stream) =
+     *       SplitMix64(SplitMix64(seed) ^ ((stream + 1) * C))
+     *
+     * with C = 0xd2b74407b1ce6e93. Each child seed then goes through
+     * Rng's normal SplitMix64 state expansion. The child is a pure
+     * function of (seed, stream): parallel shards that draw from
+     * stream = chunk index reproduce the sequential run exactly,
+     * independent of thread count and scheduling order. Note that
+     * child(seed, s) is unrelated to Rng(seed).split() — the two
+     * mechanisms serve different call sites and must not be mixed
+     * within one workload.
+     */
+    static uint64_t childSeed(uint64_t seed, uint64_t stream);
+
+    /** Generator for child stream `stream` of `seed` (see above). */
+    static Rng forStream(uint64_t seed, uint64_t stream);
+
   private:
     uint64_t s_[4];
     double cached_gauss_;

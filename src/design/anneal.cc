@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "common/logging.hh"
+#include "runtime/seed_seq.hh"
 
 namespace qpad::design
 {
@@ -55,28 +56,35 @@ contiguous(const std::vector<Coord> &coords)
     return seen.size() == occupied.size();
 }
 
-} // namespace
+/** Outcome of one independent annealing chain. */
+struct ChainResult
+{
+    std::vector<Coord> best;
+    int64_t best_cost = 0;
+    std::size_t accepted_moves = 0;
+};
 
-AnnealResult
-annealLayout(const profile::CouplingProfile &profile,
-             const LayoutResult &start, const AnnealOptions &options)
+/** One classic annealing run, seeded explicitly. */
+ChainResult
+annealChain(const profile::CouplingProfile &profile,
+            const LayoutResult &start, const AnnealOptions &options,
+            uint64_t seed)
 {
     const std::size_t n = profile.num_qubits;
-    qpad_assert(start.coord_of_logical.size() == n,
-                "start layout size mismatch");
 
     std::vector<Coord> coords = start.coord_of_logical;
     std::unordered_map<Coord, Qubit, CoordHash> occupied;
     for (Qubit q = 0; q < n; ++q)
         occupied[coords[q]] = q;
 
-    Rng rng(options.seed);
+    Rng rng(seed);
     int64_t cost = int64_t(placementCost(profile, coords));
 
-    AnnealResult result;
-    result.initial_cost = uint64_t(cost);
-    std::vector<Coord> best = coords;
-    int64_t best_cost = cost;
+    ChainResult result;
+    std::vector<Coord> &best = result.best;
+    best = coords;
+    int64_t &best_cost = result.best_cost;
+    best_cost = cost;
 
     const double cooling =
         n <= 1 || options.iterations == 0
@@ -154,6 +162,53 @@ annealLayout(const profile::CouplingProfile &profile,
             best = coords;
         }
     }
+
+    return result;
+}
+
+} // namespace
+
+AnnealResult
+annealLayout(const profile::CouplingProfile &profile,
+             const LayoutResult &start, const AnnealOptions &options)
+{
+    const std::size_t n = profile.num_qubits;
+    qpad_assert(start.coord_of_logical.size() == n,
+                "start layout size mismatch");
+    qpad_assert(options.restarts >= 1, "annealLayout needs >= 1 chain");
+
+    // Run the K independent chains; chain 0 reproduces the legacy
+    // single-chain behaviour exactly, so restarts = 1 is bit-for-bit
+    // the classic annealer regardless of options.exec.
+    const runtime::SeedSequence seeds(options.seed);
+    std::vector<ChainResult> chains(options.restarts);
+    runtime::parallel_for(
+        options.exec, options.restarts, 1,
+        [&](std::size_t begin, std::size_t end, std::size_t) {
+            for (std::size_t i = begin; i < end; ++i) {
+                const uint64_t seed =
+                    i == 0 ? options.seed : seeds.childSeed(i);
+                chains[i] = annealChain(profile, start, options, seed);
+            }
+        });
+
+    // Lowest best cost wins; ties resolve to the lowest chain index
+    // so the outcome is independent of scheduling.
+    std::size_t winner = 0;
+    for (std::size_t i = 1; i < chains.size(); ++i)
+        if (chains[i].best_cost < chains[winner].best_cost)
+            winner = i;
+    const std::vector<Coord> &best = chains[winner].best;
+
+    AnnealResult result;
+    // Computed from the coordinates, not read from the struct field:
+    // a caller-built LayoutResult may carry a stale or unset
+    // placement_cost, and the no-regression assert below must
+    // compare like with like.
+    result.initial_cost =
+        placementCost(profile, start.coord_of_logical);
+    result.accepted_moves = chains[winner].accepted_moves;
+    result.winning_chain = winner;
 
     // Rebuild a normalized LayoutResult from the best placement.
     int r0 = best[0].row, c0 = best[0].col;

@@ -16,6 +16,7 @@
 
 #include "common/rng.hh"
 #include "design/layout_design.hh"
+#include "runtime/parallel.hh"
 
 namespace qpad::design
 {
@@ -30,6 +31,16 @@ struct AnnealOptions
     /** Final temperature. */
     double t_end = 0.05;
     uint64_t seed = 17;
+    /**
+     * Independent chains started from the same layout (parallel
+     * restarts); the best final placement wins, ties by lowest
+     * chain index. Chain 0 replays the legacy single-chain run
+     * (seeded with `seed` itself); chain i > 0 draws from child
+     * stream i of `seed`. 1 = classic single-chain annealing.
+     */
+    std::size_t restarts = 1;
+    /** Parallel execution of the restart chains. */
+    runtime::Options exec = {};
 };
 
 /** Refinement outcome. */
@@ -38,7 +49,10 @@ struct AnnealResult
     LayoutResult layout;
     uint64_t initial_cost = 0;
     uint64_t final_cost = 0;
+    /** Accepted moves of the winning chain. */
     std::size_t accepted_moves = 0;
+    /** Chain that produced the returned layout. */
+    std::size_t winning_chain = 0;
 };
 
 /**

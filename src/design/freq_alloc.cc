@@ -171,8 +171,11 @@ allocateFrequencies(const Architecture &arch,
                 {index_of[t.j], index_of[t.k], index_of[t.i]});
 
         // Common random numbers: one post-fabrication frequency table
-        // shared by all candidates (only entry qi varies), so the
-        // argmax is not washed out by sampling variance.
+        // shared by all candidates (only q's own entry varies), so the
+        // argmax is not washed out by sampling variance. The table is
+        // generated sequentially from the allocator's single RNG
+        // stream; candidate evaluation below only reads it, which is
+        // what makes the candidate scan safely parallel.
         const std::size_t trials = options.local_trials;
         std::vector<double> post(trials * n_inv);
         std::vector<double> q_noise(trials);
@@ -184,38 +187,54 @@ allocateFrequencies(const Architecture &arch,
             q_noise[t] = rng.gaussian(0.0, options.sigma_ghz);
         }
 
+        // Every term involves q by construction; index qi is
+        // substituted with the candidate value at read time instead
+        // of being written into the shared table.
+        std::vector<double> scores(candidates.size());
+        runtime::parallel_for(
+            options.exec, candidates.size(), 1,
+            [&](std::size_t begin, std::size_t end, std::size_t) {
+                for (std::size_t ci = begin; ci < end; ++ci) {
+                    const double cand = candidates[ci];
+                    std::size_t ok = 0;
+                    for (std::size_t t = 0; t < trials; ++t) {
+                        const double *row = &post[t * n_inv];
+                        const double qv = cand + q_noise[t];
+                        auto at = [&](std::size_t idx) {
+                            return idx == qi ? qv : row[idx];
+                        };
+                        bool failed = false;
+                        for (const auto &p : pairs) {
+                            if (yield::pairCollides(options.model,
+                                                    at(p.a), at(p.b))) {
+                                failed = true;
+                                break;
+                            }
+                        }
+                        if (!failed) {
+                            for (const auto &tr : triples) {
+                                if (yield::tripleCollides(
+                                        options.model, at(tr.j),
+                                        at(tr.k), at(tr.i))) {
+                                    failed = true;
+                                    break;
+                                }
+                            }
+                        }
+                        if (!failed)
+                            ++ok;
+                    }
+                    scores[ci] = double(ok) / double(trials);
+                }
+            });
+
+        // First strict maximum, matching the sequential scan order.
         double best_score = -1.0;
         double best_freq = mid;
-        for (double cand : candidates) {
-            std::size_t ok = 0;
-            for (std::size_t t = 0; t < trials; ++t) {
-                double *row = &post[t * n_inv];
-                row[qi] = cand + q_noise[t];
-                bool failed = false;
-                for (const auto &p : pairs) {
-                    if (yield::pairCollides(options.model, row[p.a],
-                                            row[p.b])) {
-                        failed = true;
-                        break;
-                    }
-                }
-                if (!failed) {
-                    for (const auto &tr : triples) {
-                        if (yield::tripleCollides(options.model,
-                                                  row[tr.j], row[tr.k],
-                                                  row[tr.i])) {
-                            failed = true;
-                            break;
-                        }
-                    }
-                }
-                if (!failed)
-                    ++ok;
-            }
-            double score = double(ok) / double(trials);
-            if (score > best_score) {
-                best_score = score;
-                best_freq = cand;
+        for (std::size_t ci = 0; ci < candidates.size(); ++ci) {
+            if (scores[ci] > best_score) {
+                best_score = scores[ci];
+                best_freq = candidates[ci];
             }
         }
         return {best_freq, best_score};

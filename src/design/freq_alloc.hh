@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "arch/architecture.hh"
+#include "runtime/parallel.hh"
 #include "yield/collision.hh"
 
 namespace qpad::design
@@ -45,6 +46,13 @@ struct FreqAllocOptions
      * the paper's plain Algorithm 3.
      */
     unsigned refine_sweeps = 2;
+    /**
+     * Parallel execution of the per-qubit candidate scan (the hot
+     * path of Algorithm 3). Candidates share one sequentially
+     * generated common-random-numbers table, so the chosen
+     * frequencies are identical for every thread count.
+     */
+    runtime::Options exec = {};
 };
 
 /** Allocation outcome. */

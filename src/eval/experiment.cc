@@ -1,6 +1,7 @@
 #include "eval/experiment.hh"
 
 #include <algorithm>
+#include <functional>
 
 #include "arch/ibm.hh"
 #include "common/logging.hh"
@@ -82,13 +83,21 @@ runBenchmark(const benchmarks::BenchmarkInfo &info,
 
     profile::CouplingProfile prof = profile::profileCircuit(circuit);
 
+    // Every data point (design + mapping + yield) is an independent,
+    // fully seeded job. Jobs are enumerated in the legacy sequential
+    // order, then evaluated under options.exec; slot i of the job
+    // list is slot i of experiment.points, so the report is the same
+    // for any thread count.
+    std::vector<std::function<DataPoint()>> jobs;
+
     // --- ibm: the four general-purpose baselines -------------------
     if (options.run_ibm) {
         for (Architecture &baseline : arch::ibmBaselines()) {
             if (baseline.numQubits() < circuit.numQubits())
                 continue;
-            experiment.points.push_back(
-                measure("ibm", baseline, circuit, options));
+            jobs.push_back([baseline, &circuit, &options] {
+                return measure("ibm", baseline, circuit, options);
+            });
         }
     }
 
@@ -103,16 +112,28 @@ runBenchmark(const benchmarks::BenchmarkInfo &info,
         design::selectBuses(bare, prof, SIZE_MAX);
     const std::size_t beneficial = all_weighted.selected.size();
 
+    // Each flow job captures its own copy of `flow` with the fields
+    // of that configuration baked in.
+    auto flowJob = [&](design::DesignFlowOptions job_flow,
+                       std::string config, std::string arch_name) {
+        jobs.push_back([job_flow, config = std::move(config),
+                        arch_name = std::move(arch_name), &prof,
+                        &circuit, &options] {
+            auto outcome =
+                design::designArchitecture(prof, job_flow, arch_name);
+            return measure(config, outcome.architecture, circuit,
+                           options);
+        });
+    };
+
     // --- eff-full: Algorithm 1 + 2 + 3, sweeping K -----------------
     if (options.run_eff_full) {
         for (std::size_t k = 0; k <= beneficial; ++k) {
             flow.bus_scheme = design::BusScheme::Weighted;
             flow.max_buses = k;
             flow.freq_scheme = design::FreqScheme::Optimized;
-            auto outcome = design::designArchitecture(
-                prof, flow, "eff-full-k" + std::to_string(k));
-            experiment.points.push_back(measure(
-                "eff-full", outcome.architecture, circuit, options));
+            flowJob(flow, "eff-full",
+                    "eff-full-k" + std::to_string(k));
         }
     }
 
@@ -122,10 +143,8 @@ runBenchmark(const benchmarks::BenchmarkInfo &info,
             flow.bus_scheme = design::BusScheme::Weighted;
             flow.max_buses = k;
             flow.freq_scheme = design::FreqScheme::FiveFrequency;
-            auto outcome = design::designArchitecture(
-                prof, flow, "eff-5-freq-k" + std::to_string(k));
-            experiment.points.push_back(measure(
-                "eff-5-freq", outcome.architecture, circuit, options));
+            flowJob(flow, "eff-5-freq",
+                    "eff-5-freq-k" + std::to_string(k));
         }
     }
 
@@ -139,10 +158,8 @@ runBenchmark(const benchmarks::BenchmarkInfo &info,
             flow.max_buses = 1 + s % max_any;
             flow.freq_scheme = design::FreqScheme::Optimized;
             flow.bus_seed = options.seed * 7919 + s;
-            auto outcome = design::designArchitecture(
-                prof, flow, "eff-rd-bus-s" + std::to_string(s));
-            experiment.points.push_back(measure(
-                "eff-rd-bus", outcome.architecture, circuit, options));
+            flowJob(flow, "eff-rd-bus",
+                    "eff-rd-bus-s" + std::to_string(s));
         }
     }
 
@@ -153,15 +170,19 @@ runBenchmark(const benchmarks::BenchmarkInfo &info,
                                         : design::BusScheme::None;
             flow.max_buses = SIZE_MAX;
             flow.freq_scheme = design::FreqScheme::FiveFrequency;
-            auto outcome = design::designArchitecture(
-                prof, flow,
-                max_buses ? "eff-layout-only-max"
-                          : "eff-layout-only-2q");
-            experiment.points.push_back(
-                measure("eff-layout-only", outcome.architecture,
-                        circuit, options));
+            flowJob(flow, "eff-layout-only",
+                    max_buses ? "eff-layout-only-max"
+                              : "eff-layout-only-2q");
         }
     }
+
+    experiment.points.resize(jobs.size());
+    runtime::parallel_for(
+        options.exec, jobs.size(), 1,
+        [&](std::size_t begin, std::size_t end, std::size_t) {
+            for (std::size_t i = begin; i < end; ++i)
+                experiment.points[i] = jobs[i]();
+        });
 
     normalize(experiment);
     return experiment;

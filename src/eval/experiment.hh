@@ -15,6 +15,7 @@
 #include "benchmarks/suite.hh"
 #include "design/design_flow.hh"
 #include "mapping/sabre.hh"
+#include "runtime/parallel.hh"
 #include "yield/yield_sim.hh"
 
 namespace qpad::eval
@@ -62,6 +63,13 @@ struct ExperimentOptions
     bool run_eff_5_freq = true;
     bool run_eff_rd_bus = true;
     bool run_eff_layout_only = true;
+    /**
+     * Parallel evaluation of the per-configuration data points
+     * (design + mapping + yield per point). Every point derives its
+     * seeds from the options alone, so the report is identical for
+     * any thread count; points keep their sequential order.
+     */
+    runtime::Options exec = {};
 };
 
 /** All points for one benchmark (one subplot of Figure 10). */

@@ -1,0 +1,17 @@
+#include "runtime/parallel.hh"
+
+#include <thread>
+
+namespace qpad::runtime
+{
+
+std::size_t
+resolveThreads(const Options &options)
+{
+    if (options.num_threads != 0)
+        return options.num_threads;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+} // namespace qpad::runtime

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Deterministic chunked-range parallelism.
+ *
+ * parallel_for / parallel_reduce split the index range [0, n) into
+ * fixed-size chunks of `grain` indices. The chunking depends only on
+ * (n, grain) — NEVER on the thread count — and reductions combine
+ * partial results in ascending chunk order, so any stochastic
+ * workload that derives its randomness from the chunk index (via
+ * runtime::SeedSequence) produces bit-identical results whether it
+ * runs on 1 thread or N. Threads only decide who executes a chunk,
+ * not what the chunk computes.
+ *
+ * Scheduling: chunks are handed out through an atomic counter to the
+ * calling thread plus workers borrowed from ThreadPool::global().
+ * The caller always participates, and while waiting for its helpers
+ * it drains other queued pool tasks (ThreadPool::tryRunOne) instead
+ * of blocking. Nested parallel regions therefore cannot deadlock:
+ * any thread stuck waiting keeps executing whatever work is queued
+ * — including the helpers it is waiting for — so a saturated pool
+ * degrades toward sequential execution, never toward a cycle of
+ * blocked workers.
+ */
+
+#ifndef QPAD_RUNTIME_PARALLEL_HH
+#define QPAD_RUNTIME_PARALLEL_HH
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <exception>
+#include <future>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "runtime/thread_pool.hh"
+
+namespace qpad::runtime
+{
+
+/** Execution configuration carried by subsystem option structs. */
+struct Options
+{
+    /**
+     * Worker threads for parallel regions: 0 = one per hardware
+     * thread, 1 = legacy sequential execution (no pool involved),
+     * N = at most N concurrent chunk runners.
+     */
+    std::size_t num_threads = 0;
+};
+
+/** Resolve Options::num_threads (0 -> hardware concurrency). */
+std::size_t resolveThreads(const Options &options);
+
+namespace detail
+{
+
+/** Number of `grain`-sized chunks covering [0, n). */
+inline std::size_t
+numChunks(std::size_t n, std::size_t grain)
+{
+    return grain == 0 ? 0 : (n + grain - 1) / grain;
+}
+
+/**
+ * Run `run_chunk(chunk_index)` for every chunk in [0, chunks) on
+ * `threads` concurrent runners (calling thread included). The first
+ * exception thrown by any chunk is rethrown in the caller after all
+ * runners finish; remaining chunks are skipped once a chunk failed.
+ */
+template <typename RunChunk>
+void
+runChunks(std::size_t chunks, std::size_t threads, RunChunk &&run_chunk)
+{
+    if (chunks == 0)
+        return;
+    if (threads > chunks)
+        threads = chunks;
+    if (threads <= 1) {
+        for (std::size_t c = 0; c < chunks; ++c)
+            run_chunk(c);
+        return;
+    }
+
+    std::atomic<std::size_t> next{0};
+    std::atomic<bool> failed{false};
+    std::mutex error_mutex;
+    std::exception_ptr error;
+
+    auto runner = [&] {
+        for (;;) {
+            std::size_t c = next.fetch_add(1);
+            if (c >= chunks || failed.load(std::memory_order_relaxed))
+                return;
+            try {
+                run_chunk(c);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(error_mutex);
+                if (!error)
+                    error = std::current_exception();
+                failed.store(true, std::memory_order_relaxed);
+            }
+        }
+    };
+
+    std::vector<std::future<void>> helpers;
+    helpers.reserve(threads - 1);
+    for (std::size_t i = 0; i + 1 < threads; ++i)
+        helpers.push_back(ThreadPool::global().submit(runner));
+    runner(); // the caller works too; never blocks on a full pool
+    for (auto &h : helpers) {
+        // Helping wait: run queued pool tasks (possibly the very
+        // helpers we are waiting for) until this future resolves.
+        while (h.wait_for(std::chrono::seconds(0)) !=
+               std::future_status::ready) {
+            if (!ThreadPool::global().tryRunOne())
+                h.wait_for(std::chrono::milliseconds(1));
+        }
+        h.get();
+    }
+    if (error)
+        std::rethrow_exception(error);
+}
+
+} // namespace detail
+
+/**
+ * Apply `body(begin, end, chunk_index)` to every chunk of [0, n).
+ * Chunk boundaries depend only on (n, grain); see the file comment
+ * for the determinism contract.
+ */
+template <typename Body>
+void
+parallel_for(const Options &options, std::size_t n, std::size_t grain,
+             Body &&body)
+{
+    if (n == 0)
+        return;
+    if (grain == 0)
+        grain = 1;
+    const std::size_t chunks = detail::numChunks(n, grain);
+    detail::runChunks(chunks, resolveThreads(options),
+                      [&](std::size_t c) {
+                          const std::size_t begin = c * grain;
+                          const std::size_t end =
+                              std::min(begin + grain, n);
+                          body(begin, end, c);
+                      });
+}
+
+/**
+ * Map-reduce over [0, n): `map(begin, end, chunk_index)` produces one
+ * partial result per chunk, folded left-to-right in chunk order with
+ * `combine(accumulator, partial)`. The fold order is fixed, so the
+ * result is independent of the thread count even for non-commutative
+ * or floating-point combines.
+ */
+template <typename T, typename Map, typename Combine>
+T
+parallel_reduce(const Options &options, std::size_t n, std::size_t grain,
+                T identity, Map &&map, Combine &&combine)
+{
+    if (n == 0)
+        return identity;
+    if (grain == 0)
+        grain = 1;
+    const std::size_t chunks = detail::numChunks(n, grain);
+    std::vector<T> partials(chunks, identity);
+    detail::runChunks(chunks, resolveThreads(options),
+                      [&](std::size_t c) {
+                          const std::size_t begin = c * grain;
+                          const std::size_t end =
+                              std::min(begin + grain, n);
+                          partials[c] = map(begin, end, c);
+                      });
+    T result = std::move(identity);
+    for (std::size_t c = 0; c < chunks; ++c)
+        result = combine(std::move(result), partials[c]);
+    return result;
+}
+
+} // namespace qpad::runtime
+
+#endif // QPAD_RUNTIME_PARALLEL_HH

@@ -1,0 +1,86 @@
+#include "runtime/thread_pool.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace qpad::runtime
+{
+
+ThreadPool::ThreadPool(std::size_t num_threads)
+{
+    qpad_assert(num_threads >= 1, "ThreadPool needs at least 1 worker");
+    workers_.reserve(num_threads);
+    for (std::size_t i = 0; i < num_threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+std::future<void>
+ThreadPool::submit(std::function<void()> task)
+{
+    std::packaged_task<void()> wrapped(std::move(task));
+    std::future<void> future = wrapped.get_future();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        qpad_assert(!stopping_, "submit() on a stopping ThreadPool");
+        queue_.push_back(std::move(wrapped));
+    }
+    cv_.notify_one();
+    return future;
+}
+
+bool
+ThreadPool::tryRunOne()
+{
+    std::packaged_task<void()> task;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (queue_.empty())
+            return false;
+        task = std::move(queue_.front());
+        queue_.pop_front();
+    }
+    task();
+    return true;
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::packaged_task<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_.wait(lock,
+                     [this] { return stopping_ || !queue_.empty(); });
+            if (queue_.empty())
+                return; // stopping_ and drained
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        task(); // exceptions land in the matching future
+    }
+}
+
+ThreadPool &
+ThreadPool::global()
+{
+    static ThreadPool pool(std::max<std::size_t>(
+        1, std::thread::hardware_concurrency() == 0
+               ? 1
+               : std::thread::hardware_concurrency() - 1));
+    return pool;
+}
+
+} // namespace qpad::runtime

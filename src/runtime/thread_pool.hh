@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Fixed-size worker pool behind qpad's parallel primitives.
+ *
+ * The pool is deliberately simple: a FIFO of type-erased tasks and N
+ * workers that drain it. Determinism is NOT the pool's job — tasks
+ * may run in any order on any worker — it is provided one level up
+ * by parallel_for/parallel_reduce, which assign work to fixed chunk
+ * indices and merge results in chunk order (see runtime/parallel.hh).
+ */
+
+#ifndef QPAD_RUNTIME_THREAD_POOL_HH
+#define QPAD_RUNTIME_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace qpad::runtime
+{
+
+/** Fixed-size thread pool with a shared task queue. */
+class ThreadPool
+{
+  public:
+    /** Spawn `num_threads` workers (>= 1). */
+    explicit ThreadPool(std::size_t num_threads);
+
+    /** Drains nothing: pending tasks are completed before exit. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Number of worker threads. */
+    std::size_t size() const { return workers_.size(); }
+
+    /**
+     * Enqueue a task. The returned future observes completion and
+     * rethrows any exception the task raised.
+     */
+    std::future<void> submit(std::function<void()> task);
+
+    /**
+     * Pop and run one queued task on the calling thread; false if
+     * the queue was empty. Lets a thread that is waiting for its
+     * own submissions make progress instead of blocking — the
+     * ingredient that keeps nested parallel regions deadlock-free
+     * (see runtime/parallel.hh).
+     */
+    bool tryRunOne();
+
+    /**
+     * Process-wide shared pool, lazily created with
+     * hardware_concurrency() - 1 workers (the thread that calls a
+     * parallel primitive participates in the work itself, so pool
+     * workers plus caller saturate the machine). Never destroyed
+     * before program exit.
+     */
+    static ThreadPool &global();
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::deque<std::packaged_task<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool stopping_ = false;
+};
+
+} // namespace qpad::runtime
+
+#endif // QPAD_RUNTIME_THREAD_POOL_HH

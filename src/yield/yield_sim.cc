@@ -3,11 +3,40 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "runtime/seed_seq.hh"
 
 namespace qpad::yield
 {
 
 using arch::PhysQubit;
+
+namespace
+{
+
+/**
+ * Trials per RNG stream. Fixed (never derived from the thread
+ * count) so the shard layout — and therefore every random draw —
+ * is a pure function of (seed, trials).
+ */
+constexpr std::size_t kShardTrials = 1024;
+
+/** Mergeable per-shard tallies. */
+struct ShardCounts
+{
+    std::size_t successes = 0;
+    ConditionCounts condition_trials{};
+};
+
+ShardCounts
+mergeCounts(ShardCounts acc, const ShardCounts &other)
+{
+    acc.successes += other.successes;
+    for (std::size_t c = 0; c < acc.condition_trials.size(); ++c)
+        acc.condition_trials[c] += other.condition_trials[c];
+    return acc;
+}
+
+} // namespace
 
 double
 YieldResult::stderrEstimate() const
@@ -25,30 +54,46 @@ estimateYield(const CollisionChecker &checker,
     for (double f : pre_fab_freqs)
         qpad_assert(f > 0.0, "unassigned frequency in yield simulation");
 
-    Rng rng(options.seed);
     YieldResult result;
     result.trials = options.trials;
 
-    std::vector<double> post(pre_fab_freqs.size());
-    for (std::size_t t = 0; t < options.trials; ++t) {
-        for (std::size_t q = 0; q < post.size(); ++q)
-            post[q] = rng.gaussian(pre_fab_freqs[q], options.sigma_ghz);
-        if (options.collect_condition_stats) {
-            ConditionCounts counts = checker.countCollisions(post);
-            bool failed = false;
-            for (int c = 1; c <= 7; ++c) {
-                if (counts[c] > 0) {
-                    ++result.condition_trials[c];
-                    failed = true;
+    // Each kShardTrials-sized block draws from its own child stream
+    // of options.seed; partials merge in shard order. Thread count
+    // affects wall clock only, never the tallies.
+    const runtime::SeedSequence seeds(options.seed);
+    ShardCounts totals = runtime::parallel_reduce(
+        options.exec, options.trials, kShardTrials, ShardCounts{},
+        [&](std::size_t begin, std::size_t end, std::size_t shard) {
+            Rng rng = seeds.childRng(shard);
+            ShardCounts local;
+            std::vector<double> post(pre_fab_freqs.size());
+            for (std::size_t t = begin; t < end; ++t) {
+                for (std::size_t q = 0; q < post.size(); ++q)
+                    post[q] = rng.gaussian(pre_fab_freqs[q],
+                                           options.sigma_ghz);
+                if (options.collect_condition_stats) {
+                    ConditionCounts counts =
+                        checker.countCollisions(post);
+                    bool failed = false;
+                    for (int c = 1; c <= 7; ++c) {
+                        if (counts[c] > 0) {
+                            ++local.condition_trials[c];
+                            failed = true;
+                        }
+                    }
+                    if (!failed)
+                        ++local.successes;
+                } else {
+                    if (!checker.anyCollision(post))
+                        ++local.successes;
                 }
             }
-            if (!failed)
-                ++result.successes;
-        } else {
-            if (!checker.anyCollision(post))
-                ++result.successes;
-        }
-    }
+            return local;
+        },
+        mergeCounts);
+
+    result.successes = totals.successes;
+    result.condition_trials = totals.condition_trials;
     result.yield = double(result.successes) / double(options.trials);
     return result;
 }
@@ -72,6 +117,22 @@ LocalYieldSimulator::LocalYieldSimulator(
 {
 }
 
+bool
+LocalYieldSimulator::trialSucceeds(const std::vector<double> &freqs,
+                                   double sigma_ghz, Rng &rng,
+                                   std::vector<double> &post) const
+{
+    for (PhysQubit q : involved_)
+        post[q] = rng.gaussian(freqs[q], sigma_ghz);
+    for (const auto &p : pairs_)
+        if (pairCollides(model_, post[p.a], post[p.b]))
+            return false;
+    for (const auto &tr : triples_)
+        if (tripleCollides(model_, post[tr.j], post[tr.k], post[tr.i]))
+            return false;
+    return true;
+}
+
 double
 LocalYieldSimulator::simulate(const std::vector<double> &freqs,
                               double sigma_ghz, std::size_t trials,
@@ -82,28 +143,32 @@ LocalYieldSimulator::simulate(const std::vector<double> &freqs,
 
     std::size_t successes = 0;
     std::vector<double> post(freqs);
-    for (std::size_t t = 0; t < trials; ++t) {
-        for (PhysQubit q : involved_)
-            post[q] = rng.gaussian(freqs[q], sigma_ghz);
-        bool failed = false;
-        for (const auto &p : pairs_) {
-            if (pairCollides(model_, post[p.a], post[p.b])) {
-                failed = true;
-                break;
-            }
-        }
-        if (!failed) {
-            for (const auto &tr : triples_) {
-                if (tripleCollides(model_, post[tr.j], post[tr.k],
-                                   post[tr.i])) {
-                    failed = true;
-                    break;
-                }
-            }
-        }
-        if (!failed)
-            ++successes;
-    }
+    for (std::size_t t = 0; t < trials; ++t)
+        successes += trialSucceeds(freqs, sigma_ghz, rng, post);
+    return double(successes) / double(trials);
+}
+
+double
+LocalYieldSimulator::simulate(const std::vector<double> &freqs,
+                              double sigma_ghz, std::size_t trials,
+                              uint64_t seed,
+                              const runtime::Options &exec) const
+{
+    if (pairs_.empty() && triples_.empty())
+        return 1.0;
+
+    const runtime::SeedSequence seeds(seed);
+    std::size_t successes = runtime::parallel_reduce(
+        exec, trials, kShardTrials, std::size_t{0},
+        [&](std::size_t begin, std::size_t end, std::size_t shard) {
+            Rng rng = seeds.childRng(shard);
+            std::size_t local = 0;
+            std::vector<double> post(freqs);
+            for (std::size_t t = begin; t < end; ++t)
+                local += trialSucceeds(freqs, sigma_ghz, rng, post);
+            return local;
+        },
+        [](std::size_t acc, std::size_t x) { return acc + x; });
     return double(successes) / double(trials);
 }
 

@@ -15,6 +15,7 @@
 
 #include "arch/architecture.hh"
 #include "common/rng.hh"
+#include "runtime/parallel.hh"
 #include "yield/collision.hh"
 
 namespace qpad::yield
@@ -33,6 +34,13 @@ struct YieldOptions
     bool collect_condition_stats = false;
     /** Collision thresholds. */
     CollisionModel model = {};
+    /**
+     * Parallel execution. Trials are sharded into fixed-size blocks,
+     * each drawing from its own seed-derived RNG stream, so the
+     * result is bit-identical for every num_threads value (including
+     * the sequential num_threads = 1).
+     */
+    runtime::Options exec = {};
 };
 
 /** Simulation outcome. */
@@ -80,7 +88,20 @@ class LocalYieldSimulator
     double simulate(const std::vector<double> &freqs, double sigma_ghz,
                     std::size_t trials, Rng &rng) const;
 
+    /**
+     * Sharded variant: trials split into fixed-size blocks seeded
+     * from independent streams of `seed`, executed under `exec`.
+     * The returned fraction is independent of the thread count.
+     */
+    double simulate(const std::vector<double> &freqs, double sigma_ghz,
+                    std::size_t trials, uint64_t seed,
+                    const runtime::Options &exec) const;
+
   private:
+    /** One trial on the scratch buffer `post`; true on success. */
+    bool trialSucceeds(const std::vector<double> &freqs,
+                       double sigma_ghz, Rng &rng,
+                       std::vector<double> &post) const;
     std::vector<CollisionChecker::PairTerm> pairs_;
     std::vector<CollisionChecker::TripleTerm> triples_;
     std::vector<arch::PhysQubit> involved_;

@@ -1,0 +1,362 @@
+/**
+ * @file
+ * Tests for the qpad::runtime parallel execution engine: thread pool
+ * lifecycle, exception propagation, chunk coverage, seed splitting,
+ * and the thread-count independence of the stochastic subsystems
+ * built on top of it.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "arch/ibm.hh"
+#include "design/anneal.hh"
+#include "design/freq_alloc.hh"
+#include "design/layout_design.hh"
+#include "eval/experiment.hh"
+#include "profile/coupling.hh"
+#include "runtime/parallel.hh"
+#include "runtime/seed_seq.hh"
+#include "runtime/thread_pool.hh"
+#include "yield/yield_sim.hh"
+
+namespace
+{
+
+using namespace qpad;
+using runtime::Options;
+using runtime::SeedSequence;
+using runtime::ThreadPool;
+
+// --------------------------------------------------------------------
+// ThreadPool
+// --------------------------------------------------------------------
+
+TEST(ThreadPool, StartupAndShutdown)
+{
+    for (std::size_t n : {1u, 2u, 4u, 8u}) {
+        ThreadPool pool(n);
+        EXPECT_EQ(pool.size(), n);
+    }
+}
+
+TEST(ThreadPool, RunsSubmittedTasks)
+{
+    ThreadPool pool(3);
+    std::atomic<int> counter{0};
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 100; ++i)
+        futures.push_back(pool.submit([&counter] { ++counter; }));
+    for (auto &f : futures)
+        f.get();
+    EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, DrainsPendingTasksOnDestruction)
+{
+    std::atomic<int> counter{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 50; ++i)
+            pool.submit([&counter] { ++counter; });
+    }
+    EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPool, SubmitFuturePropagatesException)
+{
+    ThreadPool pool(2);
+    auto future = pool.submit(
+        [] { throw std::runtime_error("task failed"); });
+    EXPECT_THROW(future.get(), std::runtime_error);
+    // The pool survives a throwing task.
+    auto ok = pool.submit([] {});
+    EXPECT_NO_THROW(ok.get());
+}
+
+// --------------------------------------------------------------------
+// parallel_for / parallel_reduce
+// --------------------------------------------------------------------
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce)
+{
+    for (std::size_t threads : {1u, 2u, 5u}) {
+        const std::size_t n = 1000;
+        std::vector<std::atomic<int>> hits(n);
+        Options exec{threads};
+        runtime::parallel_for(
+            exec, n, 7,
+            [&](std::size_t begin, std::size_t end, std::size_t) {
+                for (std::size_t i = begin; i < end; ++i)
+                    ++hits[i];
+            });
+        for (std::size_t i = 0; i < n; ++i)
+            ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+    }
+}
+
+TEST(ParallelFor, ChunkIndicesMatchBoundaries)
+{
+    const std::size_t n = 103, grain = 10;
+    std::vector<std::pair<std::size_t, std::size_t>> ranges(11);
+    runtime::parallel_for(
+        Options{4}, n, grain,
+        [&](std::size_t begin, std::size_t end, std::size_t chunk) {
+            ranges[chunk] = {begin, end};
+        });
+    for (std::size_t c = 0; c < ranges.size(); ++c) {
+        EXPECT_EQ(ranges[c].first, c * grain);
+        EXPECT_EQ(ranges[c].second, std::min(c * grain + grain, n));
+    }
+}
+
+TEST(ParallelFor, EmptyRangeIsANoop)
+{
+    bool called = false;
+    runtime::parallel_for(Options{4}, 0, 8,
+                          [&](std::size_t, std::size_t, std::size_t) {
+                              called = true;
+                          });
+    EXPECT_FALSE(called);
+}
+
+TEST(ParallelFor, NestedRegionsDoNotDeadlock)
+{
+    // An outer multi-thread region whose chunks open inner
+    // multi-thread regions: pool workers must keep draining queued
+    // helper tasks while waiting (helping wait), or the pool
+    // deadlocks as soon as it saturates.
+    std::atomic<int> inner_hits{0};
+    runtime::parallel_for(
+        Options{4}, 4, 1,
+        [&](std::size_t, std::size_t, std::size_t) {
+            runtime::parallel_for(
+                Options{4}, 100, 10,
+                [&](std::size_t begin, std::size_t end, std::size_t) {
+                    inner_hits += int(end - begin);
+                });
+        });
+    EXPECT_EQ(inner_hits.load(), 400);
+}
+
+TEST(ParallelFor, PropagatesTaskException)
+{
+    for (std::size_t threads : {1u, 4u}) {
+        EXPECT_THROW(
+            runtime::parallel_for(
+                Options{threads}, 100, 3,
+                [](std::size_t begin, std::size_t, std::size_t) {
+                    if (begin >= 30)
+                        throw std::runtime_error("chunk failed");
+                }),
+            std::runtime_error);
+    }
+}
+
+TEST(ParallelReduce, SumsMatchSequential)
+{
+    const std::size_t n = 12345;
+    for (std::size_t threads : {1u, 3u, 8u}) {
+        uint64_t sum = runtime::parallel_reduce(
+            Options{threads}, n, 100, uint64_t{0},
+            [](std::size_t begin, std::size_t end, std::size_t) {
+                uint64_t s = 0;
+                for (std::size_t i = begin; i < end; ++i)
+                    s += i;
+                return s;
+            },
+            [](uint64_t a, uint64_t b) { return a + b; });
+        EXPECT_EQ(sum, uint64_t(n) * (n - 1) / 2);
+    }
+}
+
+TEST(ParallelReduce, CombinesInChunkOrder)
+{
+    // A non-commutative combine (string concatenation) exposes any
+    // scheduling-order dependence.
+    auto run = [](std::size_t threads) {
+        return runtime::parallel_reduce(
+            Options{threads}, 26, 4, std::string{},
+            [](std::size_t begin, std::size_t end, std::size_t) {
+                std::string s;
+                for (std::size_t i = begin; i < end; ++i)
+                    s += char('a' + i);
+                return s;
+            },
+            [](std::string acc, const std::string &x) {
+                return acc + x;
+            });
+    };
+    const std::string expect = "abcdefghijklmnopqrstuvwxyz";
+    EXPECT_EQ(run(1), expect);
+    EXPECT_EQ(run(4), expect);
+    EXPECT_EQ(run(13), expect);
+}
+
+// --------------------------------------------------------------------
+// SeedSequence
+// --------------------------------------------------------------------
+
+TEST(SeedSequence, ChildSeedsAreDeterministic)
+{
+    SeedSequence a(99), b(99);
+    for (uint64_t s = 0; s < 64; ++s)
+        EXPECT_EQ(a.childSeed(s), b.childSeed(s));
+}
+
+TEST(SeedSequence, ChildStreamsDiverge)
+{
+    SeedSequence seq(7);
+    Rng r0 = seq.childRng(0);
+    Rng r1 = seq.childRng(1);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += r0.next() == r1.next();
+    EXPECT_LT(same, 3);
+}
+
+TEST(SeedSequence, DifferentBasesDiverge)
+{
+    SeedSequence a(1), b(2);
+    int same = 0;
+    for (uint64_t s = 0; s < 100; ++s)
+        same += a.childSeed(s) == b.childSeed(s);
+    EXPECT_LT(same, 3);
+}
+
+// --------------------------------------------------------------------
+// Thread-count independence of the wired subsystems
+// --------------------------------------------------------------------
+
+TEST(Determinism, YieldBitIdenticalAcrossThreadCounts)
+{
+    auto arch = arch::ibm16Q(true);
+    yield::YieldOptions opts;
+    opts.trials = 10000;
+    opts.seed = 2020;
+    opts.collect_condition_stats = true;
+
+    opts.exec.num_threads = 1;
+    auto seq = yield::estimateYield(arch, opts);
+    for (std::size_t threads : {2u, 4u, 7u}) {
+        opts.exec.num_threads = threads;
+        auto par = yield::estimateYield(arch, opts);
+        EXPECT_EQ(par.successes, seq.successes) << threads;
+        EXPECT_DOUBLE_EQ(par.yield, seq.yield) << threads;
+        EXPECT_EQ(par.condition_trials, seq.condition_trials)
+            << threads;
+    }
+}
+
+TEST(Determinism, LocalSimulatorShardedMatchesAcrossThreadCounts)
+{
+    auto arch = arch::ibm16Q(false);
+    design::FreqAllocOptions fopts;
+    fopts.local_trials = 500;
+    design::applyOptimizedFrequencies(arch, fopts);
+
+    yield::CollisionChecker checker(arch);
+    std::vector<arch::PhysQubit> involved(arch.numQubits());
+    std::iota(involved.begin(), involved.end(), 0);
+    yield::LocalYieldSimulator sim(checker.pairs(), checker.triples(),
+                                   {}, involved);
+
+    double seq = sim.simulate(arch.frequencies(), 0.03, 20000, 5,
+                              Options{1});
+    double par = sim.simulate(arch.frequencies(), 0.03, 20000, 5,
+                              Options{4});
+    EXPECT_DOUBLE_EQ(seq, par);
+}
+
+TEST(Determinism, FreqAllocIdenticalAcrossThreadCounts)
+{
+    auto arch = arch::ibm16Q(true);
+    design::FreqAllocOptions opts;
+    opts.local_trials = 400;
+    opts.refine_sweeps = 1;
+
+    opts.exec.num_threads = 1;
+    auto seq = design::allocateFrequencies(arch, opts);
+    opts.exec.num_threads = 4;
+    auto par = design::allocateFrequencies(arch, opts);
+    EXPECT_EQ(seq.freqs, par.freqs);
+    EXPECT_EQ(seq.order, par.order);
+    EXPECT_EQ(seq.local_scores, par.local_scores);
+}
+
+TEST(Determinism, AnnealRestartsIdenticalAcrossThreadCounts)
+{
+    auto circ = benchmarks::getBenchmark("z4_268").generate();
+    auto prof = profile::profileCircuit(circ);
+    auto start = design::designLayout(prof);
+
+    design::AnnealOptions opts;
+    opts.iterations = 2000;
+    opts.restarts = 4;
+
+    opts.exec.num_threads = 1;
+    auto seq = design::annealLayout(prof, start, opts);
+    opts.exec.num_threads = 4;
+    auto par = design::annealLayout(prof, start, opts);
+    EXPECT_EQ(seq.final_cost, par.final_cost);
+    EXPECT_EQ(seq.winning_chain, par.winning_chain);
+    EXPECT_EQ(seq.layout.coord_of_logical,
+              par.layout.coord_of_logical);
+    // More chains can only improve on the single-chain result.
+    design::AnnealOptions single = opts;
+    single.restarts = 1;
+    auto one = design::annealLayout(prof, start, single);
+    EXPECT_LE(seq.final_cost, one.final_cost);
+}
+
+TEST(Determinism, AnnealAcceptsStartWithUnsetCost)
+{
+    // initial_cost must be derived from the start coordinates, not
+    // trusted from the struct field, or the internal no-regression
+    // assert fires on caller-built layouts.
+    auto circ = benchmarks::getBenchmark("cm152a_212").generate();
+    auto prof = profile::profileCircuit(circ);
+    auto designed = design::designLayout(prof);
+    design::LayoutResult bare;
+    bare.coord_of_logical = designed.coord_of_logical;
+    bare.layout = designed.layout; // placement_cost left at 0
+    design::AnnealOptions opts;
+    opts.iterations = 500;
+    auto annealed = design::annealLayout(prof, bare, opts);
+    EXPECT_EQ(annealed.initial_cost, designed.placement_cost);
+    EXPECT_LE(annealed.final_cost, annealed.initial_cost);
+}
+
+TEST(Determinism, ExperimentIdenticalAcrossThreadCounts)
+{
+    auto info = benchmarks::getBenchmark("sym6_145");
+    eval::ExperimentOptions opts;
+    opts.yield_options.trials = 1000;
+    opts.max_yield_trials = 10000;
+    opts.freq_options.local_trials = 200;
+    opts.freq_options.refine_sweeps = 0;
+    opts.random_bus_samples = 2;
+
+    opts.exec.num_threads = 1;
+    auto seq = eval::runBenchmark(info, opts);
+    opts.exec.num_threads = 4;
+    auto par = eval::runBenchmark(info, opts);
+
+    ASSERT_EQ(seq.points.size(), par.points.size());
+    for (std::size_t i = 0; i < seq.points.size(); ++i) {
+        EXPECT_EQ(seq.points[i].config, par.points[i].config) << i;
+        EXPECT_EQ(seq.points[i].arch_name, par.points[i].arch_name)
+            << i;
+        EXPECT_EQ(seq.points[i].gate_count, par.points[i].gate_count)
+            << i;
+        EXPECT_DOUBLE_EQ(seq.points[i].yield, par.points[i].yield)
+            << i;
+    }
+}
+
+} // namespace
