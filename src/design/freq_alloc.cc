@@ -1,13 +1,16 @@
 #include "design/freq_alloc.hh"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <cstdint>
+#include <cstring>
 #include <limits>
 #include <queue>
 
 #include "common/logging.hh"
 #include "common/rng.hh"
+#include "yield/collision_batch.hh"
 
 namespace qpad::design
 {
@@ -149,6 +152,12 @@ allocateFrequencies(const Architecture &arch,
     // terms it participates in (among assigned qubits) and return the
     // best (frequency, local yield) pair.
     auto optimize = [&](PhysQubit q) -> std::pair<double, double> {
+        // Zero trials give no evidence to rank candidates (and would
+        // make every score 0/0 = NaN, breaking the argmax): keep the
+        // band middle with the same zero score the yield simulators
+        // report for zero-trial runs.
+        if (options.local_trials == 0)
+            return {mid, 0.0};
         LocalTerms terms = buildLocalTerms(arch, q, assigned);
         const std::size_t n_inv = terms.involved.size();
 
@@ -158,17 +167,19 @@ allocateFrequencies(const Architecture &arch,
             index_of[terms.involved[idx]] = idx;
         const std::size_t qi = index_of[q];
 
-        struct PairIdx { std::size_t a, b; };
-        struct TripleIdx { std::size_t j, k, i; };
-        std::vector<PairIdx> pairs;
+        // Terms re-indexed into the local involved set; the same
+        // lists drive the scalar oracle and the batched kernel.
+        std::vector<CollisionChecker::PairTerm> pairs;
         pairs.reserve(terms.pairs.size());
         for (const auto &p : terms.pairs)
-            pairs.push_back({index_of[p.a], index_of[p.b]});
-        std::vector<TripleIdx> triples;
+            pairs.push_back({PhysQubit(index_of[p.a]),
+                             PhysQubit(index_of[p.b])});
+        std::vector<CollisionChecker::TripleTerm> triples;
         triples.reserve(terms.triples.size());
         for (const auto &t : terms.triples)
-            triples.push_back(
-                {index_of[t.j], index_of[t.k], index_of[t.i]});
+            triples.push_back({PhysQubit(index_of[t.j]),
+                               PhysQubit(index_of[t.k]),
+                               PhysQubit(index_of[t.i])});
 
         // Common random numbers: one post-fabrication frequency table
         // shared by all candidates (only q's own entry varies), so the
@@ -187,13 +198,73 @@ allocateFrequencies(const Architecture &arch,
             q_noise[t] = rng.gaussian(0.0, options.sigma_ghz);
         }
 
+        // Batched evaluation transposes the CRN table once into
+        // qubit-major lane blocks; per candidate only q's lanes are
+        // overwritten on a scratch copy, and the kernel sees exactly
+        // the values the scalar oracle reads through at(), so the
+        // scores — and the committed argmax — are identical.
+        constexpr std::size_t B = yield::BatchCollisionChecker::kLanes;
+        const bool batched = yield::useBatchedKernel();
+        const std::size_t n_blocks = (trials + B - 1) / B;
+        const std::size_t block_doubles = n_inv * B;
+        yield::BatchCollisionChecker batch;
+        std::vector<double> blocks;
+        if (batched) {
+            batch = yield::BatchCollisionChecker(pairs, triples,
+                                                 options.model);
+            blocks.assign(n_blocks * block_doubles, 0.0);
+            for (std::size_t t = 0; t < trials; ++t)
+                for (std::size_t idx = 0; idx < n_inv; ++idx)
+                    blocks[yield::BatchCollisionChecker::soaIndex(
+                        t, idx, n_inv)] = post[t * n_inv + idx];
+        }
+
         // Every term involves q by construction; index qi is
-        // substituted with the candidate value at read time instead
-        // of being written into the shared table.
+        // substituted with the candidate value at read time (scalar)
+        // or written into the scratch block's lanes (batched)
+        // instead of being stored in the shared table.
+        // One chunk per worker: the batched branch streams the CRN
+        // block table once per chunk, so single-candidate chunks
+        // would re-copy it per candidate. Scores depend only on the
+        // read-only table, so the chunking (unlike the table
+        // generation above) is free to vary with the thread count.
+        const std::size_t workers =
+            runtime::resolveThreads(options.exec);
+        const std::size_t grain =
+            (candidates.size() + workers - 1) / workers;
         std::vector<double> scores(candidates.size());
         runtime::parallel_for(
-            options.exec, candidates.size(), 1,
+            options.exec, candidates.size(), grain,
             [&](std::size_t begin, std::size_t end, std::size_t) {
+                if (batched) {
+                    // Blocks outer, candidates inner: each block is
+                    // copied into the scratch once and only qubit
+                    // qi's lanes are rewritten per candidate, so the
+                    // CRN table is streamed once per worker instead
+                    // of once per candidate.
+                    std::vector<double> scratch(block_doubles);
+                    std::vector<std::size_t> ok(end - begin, 0);
+                    for (std::size_t bi = 0; bi < n_blocks; ++bi) {
+                        const std::size_t t0 = bi * B;
+                        const std::size_t active =
+                            std::min(B, trials - t0);
+                        std::memcpy(scratch.data(),
+                                    &blocks[bi * block_doubles],
+                                    block_doubles * sizeof(double));
+                        for (std::size_t ci = begin; ci < end; ++ci) {
+                            for (std::size_t l = 0; l < active; ++l)
+                                scratch[qi * B + l] =
+                                    candidates[ci] + q_noise[t0 + l];
+                            ok[ci - begin] += std::size_t(
+                                std::popcount(batch.survivorMask(
+                                    scratch.data(), active)));
+                        }
+                    }
+                    for (std::size_t ci = begin; ci < end; ++ci)
+                        scores[ci] =
+                            double(ok[ci - begin]) / double(trials);
+                    return;
+                }
                 for (std::size_t ci = begin; ci < end; ++ci) {
                     const double cand = candidates[ci];
                     std::size_t ok = 0;

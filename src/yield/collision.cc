@@ -31,42 +31,96 @@ near(double value, double target, double thr)
     return std::fabs(value - target) < thr;
 }
 
+/**
+ * Single source of truth for the pair conditions 1-4. StopAtFirst
+ * restores the predicate callers' intra-term short-circuit (the mask
+ * is then only meaningful as zero/nonzero) without duplicating any
+ * condition expression.
+ */
+template <bool StopAtFirst>
+inline unsigned
+pairMask(const CollisionModel &model, double fa, double fb)
+{
+    const double d = model.delta;
+    unsigned mask = 0;
+    // Condition 1 (symmetric).
+    if (near(fa, fb, model.thr1)) {
+        mask |= 1u << 1;
+        if constexpr (StopAtFirst)
+            return mask;
+    }
+    // Conditions 2/3 in both orientations (either qubit may act as
+    // the cross-resonance control).
+    if (near(fa, fb - d / 2, model.thr2) ||
+        near(fb, fa - d / 2, model.thr2)) {
+        mask |= 1u << 2;
+        if constexpr (StopAtFirst)
+            return mask;
+    }
+    if (near(fa, fb - d, model.thr3) || near(fb, fa - d, model.thr3)) {
+        mask |= 1u << 3;
+        if constexpr (StopAtFirst)
+            return mask;
+    }
+    // Condition 4: delta < 0, so this fires when the detuning
+    // exceeds the anharmonicity in either direction.
+    if (fa > fb - d || fb > fa - d)
+        mask |= 1u << 4;
+    return mask;
+}
+
+/** Same for the triple conditions 5-7 (shared neighbour j). */
+template <bool StopAtFirst>
+inline unsigned
+tripleMask(const CollisionModel &model, double fj, double fk, double fi)
+{
+    const double d = model.delta;
+    unsigned mask = 0;
+    // Condition 5 (symmetric in i, k).
+    if (near(fi, fk, model.thr5)) {
+        mask |= 1u << 5;
+        if constexpr (StopAtFirst)
+            return mask;
+    }
+    // Condition 6, both orientations.
+    if (near(fi, fk - d, model.thr6) ||
+        near(fk, fi - d, model.thr6)) {
+        mask |= 1u << 6;
+        if constexpr (StopAtFirst)
+            return mask;
+    }
+    // Condition 7 (symmetric in i, k).
+    if (near(2 * fj + d, fk + fi, model.thr7))
+        mask |= 1u << 7;
+    return mask;
+}
+
 } // namespace
+
+unsigned
+pairConditionMask(const CollisionModel &model, double fa, double fb)
+{
+    return pairMask<false>(model, fa, fb);
+}
+
+unsigned
+tripleConditionMask(const CollisionModel &model, double fj, double fk,
+                    double fi)
+{
+    return tripleMask<false>(model, fj, fk, fi);
+}
 
 bool
 pairCollides(const CollisionModel &model, double fa, double fb)
 {
-    const double d = model.delta;
-    // Condition 1 (symmetric).
-    if (near(fa, fb, model.thr1))
-        return true;
-    // Conditions 2/3/4 in both orientations (either qubit may act as
-    // the cross-resonance control).
-    if (near(fa, fb - d / 2, model.thr2) ||
-        near(fb, fa - d / 2, model.thr2))
-        return true;
-    if (near(fa, fb - d, model.thr3) || near(fb, fa - d, model.thr3))
-        return true;
-    if (fa > fb - d || fb > fa - d)
-        return true;
-    return false;
+    return pairMask<true>(model, fa, fb) != 0;
 }
 
 bool
 tripleCollides(const CollisionModel &model, double fj, double fk,
                double fi)
 {
-    const double d = model.delta;
-    // Condition 5 (symmetric in i, k).
-    if (near(fi, fk, model.thr5))
-        return true;
-    // Condition 6, both orientations.
-    if (near(fi, fk - d, model.thr6) || near(fk, fi - d, model.thr6))
-        return true;
-    // Condition 7 (symmetric in i, k).
-    if (near(2 * fj + d, fk + fi, model.thr7))
-        return true;
-    return false;
+    return tripleMask<true>(model, fj, fk, fi) != 0;
 }
 
 bool
@@ -85,30 +139,17 @@ ConditionCounts
 CollisionChecker::countCollisions(const std::vector<double> &freqs) const
 {
     ConditionCounts counts{};
-    const CollisionModel &model = model_;
-    const double d = model.delta;
     for (const PairTerm &p : pairs_) {
-        double fa = freqs[p.a], fb = freqs[p.b];
-        if (near(fa, fb, model.thr1))
-            ++counts[1];
-        if (near(fa, fb - d / 2, model.thr2) ||
-            near(fb, fa - d / 2, model.thr2))
-            ++counts[2];
-        if (near(fa, fb - d, model.thr3) ||
-            near(fb, fa - d, model.thr3))
-            ++counts[3];
-        if (fa > fb - d || fb > fa - d)
-            ++counts[4];
+        const unsigned mask =
+            pairConditionMask(model_, freqs[p.a], freqs[p.b]);
+        for (int c = 1; c <= 4; ++c)
+            counts[c] += (mask >> c) & 1u;
     }
     for (const TripleTerm &t : triples_) {
-        double fj = freqs[t.j], fk = freqs[t.k], fi = freqs[t.i];
-        if (near(fi, fk, model.thr5))
-            ++counts[5];
-        if (near(fi, fk - d, model.thr6) ||
-            near(fk, fi - d, model.thr6))
-            ++counts[6];
-        if (near(2 * fj + d, fk + fi, model.thr7))
-            ++counts[7];
+        const unsigned mask = tripleConditionMask(
+            model_, freqs[t.j], freqs[t.k], freqs[t.i]);
+        for (int c = 5; c <= 7; ++c)
+            counts[c] += (mask >> c) & 1u;
     }
     return counts;
 }

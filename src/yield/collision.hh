@@ -37,6 +37,20 @@ struct CollisionModel
 /** Per-condition hit counters (index 1..7; index 0 unused). */
 using ConditionCounts = std::array<std::size_t, 8>;
 
+/**
+ * Bitmask of the pair conditions firing on a connected pair: bit c
+ * is set iff condition c (1..4) fires, both orientations checked.
+ * Single source of truth for the pair-condition arithmetic —
+ * pairCollides and CollisionChecker::countCollisions both consume
+ * this evaluator, so the any/count views cannot drift apart.
+ */
+unsigned pairConditionMask(const CollisionModel &model, double fa,
+                           double fb);
+
+/** Same for the triple conditions: bits 5..7, shared neighbour j. */
+unsigned tripleConditionMask(const CollisionModel &model, double fj,
+                             double fk, double fi);
+
 /** Conditions 1-4 on a connected pair (both orientations checked). */
 bool pairCollides(const CollisionModel &model, double fa, double fb);
 

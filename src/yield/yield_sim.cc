@@ -1,5 +1,7 @@
 #include "yield/yield_sim.hh"
 
+#include <algorithm>
+#include <bit>
 #include <cmath>
 
 #include "common/logging.hh"
@@ -56,6 +58,19 @@ estimateYield(const CollisionChecker &checker,
 
     YieldResult result;
     result.trials = options.trials;
+    // Zero-trial runs have nothing to tally; returning here keeps
+    // yield at 0 instead of computing 0/0 below.
+    if (options.trials == 0)
+        return result;
+
+    // The per-condition statistics need the scalar count walk; plain
+    // success tallies go through the batched SoA kernel, which is
+    // bit-identical (same conditions, same RNG draw order).
+    const bool batched =
+        !options.collect_condition_stats && useBatchedKernel();
+    const BatchCollisionChecker batch =
+        batched ? BatchCollisionChecker(checker)
+                : BatchCollisionChecker();
 
     // Each kShardTrials-sized block draws from its own child stream
     // of options.seed; partials merge in shard order. Thread count
@@ -66,7 +81,27 @@ estimateYield(const CollisionChecker &checker,
         [&](std::size_t begin, std::size_t end, std::size_t shard) {
             Rng rng = seeds.childRng(shard);
             ShardCounts local;
-            std::vector<double> post(pre_fab_freqs.size());
+            const std::size_t nq = pre_fab_freqs.size();
+            if (batched) {
+                constexpr std::size_t B = BatchCollisionChecker::kLanes;
+                std::vector<double> block(nq * B, 0.0);
+                for (std::size_t t = begin; t < end; t += B) {
+                    const std::size_t active = std::min(B, end - t);
+                    // Trial-major draw order: lane l consumes exactly
+                    // the gaussians trial t+l consumes in the scalar
+                    // loop, so the RNG stream is unchanged. Remainder
+                    // lanes keep stale-but-readable values and are
+                    // masked off by `active`.
+                    for (std::size_t l = 0; l < active; ++l)
+                        for (std::size_t q = 0; q < nq; ++q)
+                            block[q * B + l] = rng.gaussian(
+                                pre_fab_freqs[q], options.sigma_ghz);
+                    local.successes += std::size_t(std::popcount(
+                        batch.survivorMask(block.data(), active)));
+                }
+                return local;
+            }
+            std::vector<double> post(nq);
             for (std::size_t t = begin; t < end; ++t) {
                 for (std::size_t q = 0; q < post.size(); ++q)
                     post[q] = rng.gaussian(pre_fab_freqs[q],
@@ -113,7 +148,8 @@ LocalYieldSimulator::LocalYieldSimulator(
     std::vector<CollisionChecker::TripleTerm> triples,
     const CollisionModel &model, std::vector<PhysQubit> involved)
     : pairs_(std::move(pairs)), triples_(std::move(triples)),
-      involved_(std::move(involved)), model_(model)
+      involved_(std::move(involved)), model_(model),
+      batch_(pairs_, triples_, model_)
 {
 }
 
@@ -133,6 +169,38 @@ LocalYieldSimulator::trialSucceeds(const std::vector<double> &freqs,
     return true;
 }
 
+std::size_t
+LocalYieldSimulator::runTrials(const std::vector<double> &freqs,
+                               double sigma_ghz, std::size_t count,
+                               Rng &rng, bool batched) const
+{
+    std::size_t successes = 0;
+    if (!batched) {
+        std::vector<double> post(freqs);
+        for (std::size_t t = 0; t < count; ++t)
+            successes += trialSucceeds(freqs, sigma_ghz, rng, post);
+        return successes;
+    }
+
+    constexpr std::size_t B = BatchCollisionChecker::kLanes;
+    // All lanes start at the pre-fabrication frequencies; only the
+    // involved qubits are redrawn per trial, exactly like the scalar
+    // scratch buffer (uninvolved term endpoints keep freqs[q]).
+    std::vector<double> block(freqs.size() * B);
+    for (std::size_t q = 0; q < freqs.size(); ++q)
+        for (std::size_t l = 0; l < B; ++l)
+            block[q * B + l] = freqs[q];
+    for (std::size_t t = 0; t < count; t += B) {
+        const std::size_t active = std::min(B, count - t);
+        for (std::size_t l = 0; l < active; ++l)
+            for (PhysQubit q : involved_)
+                block[q * B + l] = rng.gaussian(freqs[q], sigma_ghz);
+        successes += std::size_t(
+            std::popcount(batch_.survivorMask(block.data(), active)));
+    }
+    return successes;
+}
+
 double
 LocalYieldSimulator::simulate(const std::vector<double> &freqs,
                               double sigma_ghz, std::size_t trials,
@@ -140,11 +208,13 @@ LocalYieldSimulator::simulate(const std::vector<double> &freqs,
 {
     if (pairs_.empty() && triples_.empty())
         return 1.0;
+    // Zero-trial call: no evidence of success, and 0/0 below would
+    // poison the caller's argmax with NaN.
+    if (trials == 0)
+        return 0.0;
 
-    std::size_t successes = 0;
-    std::vector<double> post(freqs);
-    for (std::size_t t = 0; t < trials; ++t)
-        successes += trialSucceeds(freqs, sigma_ghz, rng, post);
+    const std::size_t successes =
+        runTrials(freqs, sigma_ghz, trials, rng, useBatchedKernel());
     return double(successes) / double(trials);
 }
 
@@ -156,17 +226,17 @@ LocalYieldSimulator::simulate(const std::vector<double> &freqs,
 {
     if (pairs_.empty() && triples_.empty())
         return 1.0;
+    if (trials == 0)
+        return 0.0;
 
+    const bool batched = useBatchedKernel();
     const runtime::SeedSequence seeds(seed);
     std::size_t successes = runtime::parallel_reduce(
         exec, trials, kShardTrials, std::size_t{0},
         [&](std::size_t begin, std::size_t end, std::size_t shard) {
             Rng rng = seeds.childRng(shard);
-            std::size_t local = 0;
-            std::vector<double> post(freqs);
-            for (std::size_t t = begin; t < end; ++t)
-                local += trialSucceeds(freqs, sigma_ghz, rng, post);
-            return local;
+            return runTrials(freqs, sigma_ghz, end - begin, rng,
+                             batched);
         },
         [](std::size_t acc, std::size_t x) { return acc + x; });
     return double(successes) / double(trials);

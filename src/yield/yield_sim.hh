@@ -17,6 +17,7 @@
 #include "common/rng.hh"
 #include "runtime/parallel.hh"
 #include "yield/collision.hh"
+#include "yield/collision_batch.hh"
 
 namespace qpad::yield
 {
@@ -58,7 +59,12 @@ struct YieldResult
 
 /**
  * Estimate the yield rate of an architecture. All frequencies must
- * be assigned.
+ * be assigned. Trials are evaluated through the batched SoA kernel
+ * (BatchCollisionChecker) unless condition statistics are requested
+ * or QPAD_SCALAR_KERNEL forces the scalar oracle; both paths draw
+ * the same RNG stream in the same order and return bit-identical
+ * results. options.trials == 0 returns a zero-trial result (yield
+ * 0, stderr 0) instead of dividing by zero.
  */
 YieldResult estimateYield(const arch::Architecture &arch,
                           const YieldOptions &options = {});
@@ -83,7 +89,11 @@ class LocalYieldSimulator
 
     /**
      * Fraction of trials with no local collision, given the current
-     * pre-fabrication frequencies.
+     * pre-fabrication frequencies. Runs kLanes trials at a time
+     * through the batched kernel (scalar under QPAD_SCALAR_KERNEL;
+     * both paths are bit-identical and consume the same RNG draws).
+     * Zero trials return 0.0 — except with no terms at all, where
+     * nothing can collide and the result is 1.0.
      */
     double simulate(const std::vector<double> &freqs, double sigma_ghz,
                     std::size_t trials, Rng &rng) const;
@@ -92,6 +102,7 @@ class LocalYieldSimulator
      * Sharded variant: trials split into fixed-size blocks seeded
      * from independent streams of `seed`, executed under `exec`.
      * The returned fraction is independent of the thread count.
+     * Same zero-trial and batching semantics as above.
      */
     double simulate(const std::vector<double> &freqs, double sigma_ghz,
                     std::size_t trials, uint64_t seed,
@@ -102,10 +113,19 @@ class LocalYieldSimulator
     bool trialSucceeds(const std::vector<double> &freqs,
                        double sigma_ghz, Rng &rng,
                        std::vector<double> &post) const;
+    /**
+     * `count` consecutive trials drawn from `rng` (batched when
+     * `batched`; the draw order is identical either way), returning
+     * the number of successes.
+     */
+    std::size_t runTrials(const std::vector<double> &freqs,
+                          double sigma_ghz, std::size_t count,
+                          Rng &rng, bool batched) const;
     std::vector<CollisionChecker::PairTerm> pairs_;
     std::vector<CollisionChecker::TripleTerm> triples_;
     std::vector<arch::PhysQubit> involved_;
     CollisionModel model_;
+    BatchCollisionChecker batch_;
 };
 
 } // namespace qpad::yield

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Test helper: force the scalar collision kernel for one scope.
+ *
+ * The variable may be set externally (the CI sanitize job runs whole
+ * test binaries under QPAD_SCALAR_KERNEL=1); clobbering it would
+ * silently re-enable the batched kernel for the remaining tests, so
+ * the destructor restores the exact prior value.
+ */
+
+#ifndef QPAD_TESTS_SCOPED_SCALAR_KERNEL_HH
+#define QPAD_TESTS_SCOPED_SCALAR_KERNEL_HH
+
+#include <cstdlib>
+#include <string>
+
+namespace qpad::test
+{
+
+class ScopedScalarKernel
+{
+  public:
+    ScopedScalarKernel()
+    {
+        const char *prev = std::getenv("QPAD_SCALAR_KERNEL");
+        had_prev_ = prev != nullptr;
+        if (had_prev_)
+            prev_ = prev;
+        setenv("QPAD_SCALAR_KERNEL", "1", 1);
+    }
+    ~ScopedScalarKernel()
+    {
+        if (had_prev_)
+            setenv("QPAD_SCALAR_KERNEL", prev_.c_str(), 1);
+        else
+            unsetenv("QPAD_SCALAR_KERNEL");
+    }
+    ScopedScalarKernel(const ScopedScalarKernel &) = delete;
+    ScopedScalarKernel &operator=(const ScopedScalarKernel &) = delete;
+
+  private:
+    bool had_prev_ = false;
+    std::string prev_;
+};
+
+} // namespace qpad::test
+
+#endif // QPAD_TESTS_SCOPED_SCALAR_KERNEL_HH

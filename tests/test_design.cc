@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "benchmarks/generators.hh"
+#include "scoped_scalar_kernel.hh"
 #include "benchmarks/suite.hh"
 #include "design/design_flow.hh"
 #include "profile/coupling.hh"
@@ -296,6 +297,26 @@ TEST(FreqAlloc, DeterministicForEqualSeeds)
     auto a = allocateFrequencies(arch, opts);
     auto b = allocateFrequencies(arch, opts);
     EXPECT_EQ(a.freqs, b.freqs);
+}
+
+TEST(FreqAlloc, ScalarKernelEnvIsBitIdentical)
+{
+    // The batched candidate scan must commit the exact frequencies
+    // the scalar oracle picks — any score divergence would surface
+    // as a different argmax somewhere in the sweep. 301 trials also
+    // exercises the remainder batch (301 % 8 == 5).
+    Architecture arch(Layout::grid(2, 4));
+    arch.addFourQubitBus({0, 1});
+    FreqAllocOptions opts;
+    opts.local_trials = 301;
+    auto batched = allocateFrequencies(arch, opts);
+    FreqAllocResult scalar;
+    {
+        qpad::test::ScopedScalarKernel forced;
+        scalar = allocateFrequencies(arch, opts);
+    }
+    EXPECT_EQ(batched.freqs, scalar.freqs);
+    EXPECT_EQ(batched.local_scores, scalar.local_scores);
 }
 
 TEST(FreqAlloc, BeatsFiveFrequencySchemeOnDesignedLayout)

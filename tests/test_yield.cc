@@ -6,7 +6,12 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
+#include <cmath>
+#include <numeric>
+
 #include "arch/ibm.hh"
+#include "scoped_scalar_kernel.hh"
 #include "yield/yield_sim.hh"
 
 namespace
@@ -18,6 +23,8 @@ using arch::Architecture;
 using arch::Layout;
 
 const CollisionModel kModel{};
+
+using qpad::test::ScopedScalarKernel;
 
 // --------------------------------------------------------------------
 // Pair conditions 1-4
@@ -239,6 +246,71 @@ TEST(LocalSim, EmptyTermsYieldOne)
     EXPECT_DOUBLE_EQ(sim.simulate(freqs, 0.03, 100, rng), 1.0);
 }
 
+TEST(YieldSim, ZeroTrialsReturnZeroTrialResult)
+{
+    Architecture arch(Layout::grid(1, 3));
+    arch.setAllFrequencies({5.05, 5.17, 5.29});
+    YieldOptions opts;
+    opts.trials = 0;
+    auto r = estimateYield(arch, opts);
+    EXPECT_EQ(r.trials, 0u);
+    EXPECT_EQ(r.successes, 0u);
+    EXPECT_DOUBLE_EQ(r.yield, 0.0);
+    EXPECT_FALSE(std::isnan(r.yield));
+    EXPECT_DOUBLE_EQ(r.stderrEstimate(), 0.0);
+}
+
+TEST(YieldSim, ScalarKernelEnvIsBitIdentical)
+{
+    // 4999 trials: full 1024-trial shards plus a 903-trial tail whose
+    // last batch has 7 active lanes, so the remainder path is on the
+    // line too.
+    auto arch = arch::ibm16Q(true);
+    YieldOptions opts;
+    opts.trials = 4999;
+    opts.seed = 11;
+    const auto batched = estimateYield(arch, opts);
+    YieldResult scalar;
+    {
+        ScopedScalarKernel forced;
+        scalar = estimateYield(arch, opts);
+    }
+    EXPECT_EQ(batched.successes, scalar.successes);
+    EXPECT_DOUBLE_EQ(batched.yield, scalar.yield);
+}
+
+TEST(LocalSim, ZeroTrialsReturnZero)
+{
+    Architecture arch(Layout::grid(1, 2));
+    CollisionChecker checker(arch);
+    LocalYieldSimulator sim(checker.pairs(), checker.triples(), kModel,
+                            {0, 1});
+    Rng rng(9);
+    std::vector<double> freqs = {5.08, 5.17};
+    EXPECT_DOUBLE_EQ(sim.simulate(freqs, 0.03, 0, rng), 0.0);
+    EXPECT_DOUBLE_EQ(sim.simulate(freqs, 0.03, 0, 42, {}), 0.0);
+}
+
+TEST(LocalSim, ScalarKernelEnvIsBitIdentical)
+{
+    auto arch = arch::ibm16Q(false);
+    CollisionChecker checker(arch);
+    std::vector<arch::PhysQubit> involved(arch.numQubits());
+    std::iota(involved.begin(), involved.end(), 0u);
+    LocalYieldSimulator sim(checker.pairs(), checker.triples(), kModel,
+                            involved);
+    // Equal fresh generators, 1003 trials (remainder batch of 3).
+    Rng r1(3), r2(3);
+    const double batched =
+        sim.simulate(arch.frequencies(), 0.03, 1003, r1);
+    double scalar;
+    {
+        ScopedScalarKernel forced;
+        scalar = sim.simulate(arch.frequencies(), 0.03, 1003, r2);
+    }
+    EXPECT_DOUBLE_EQ(batched, scalar);
+}
+
 TEST(LocalSim, MatchesGlobalOnTinyChip)
 {
     // On a 2-qubit chip the local region of the pair IS the chip,
@@ -258,6 +330,101 @@ TEST(LocalSim, MatchesGlobalOnTinyChip)
     double local =
         sim.simulate(arch.frequencies(), opts.sigma_ghz, 40000, rng);
     EXPECT_NEAR(local, global, 0.01);
+}
+
+// --------------------------------------------------------------------
+// Property tests: any/count agreement, batch/scalar equivalence
+// --------------------------------------------------------------------
+
+/** Random grid, sometimes with a 4-qubit bus for triple-rich graphs. */
+Architecture
+randomArch(Rng &rng)
+{
+    const int rows = 1 + int(rng.below(3));
+    const int cols = 2 + int(rng.below(4));
+    Architecture arch(Layout::grid(rows, cols), "random");
+    if (rows >= 2 && cols >= 2 && rng.chance(0.5))
+        arch.addFourQubitBus({int(rng.below(uint64_t(rows - 1))),
+                              int(rng.below(uint64_t(cols - 1)))});
+    return arch;
+}
+
+/**
+ * Frequencies that exercise both outcomes: half the draws are a
+ * collision-free period-3 pattern plus small noise (survivors), half
+ * are uniform in the allocation band (mostly colliding).
+ */
+std::vector<double>
+randomFreqs(Rng &rng, std::size_t nq)
+{
+    std::vector<double> freqs(nq);
+    if (rng.chance(0.5)) {
+        const double pattern[3] = {5.00, 5.10, 5.20};
+        for (std::size_t q = 0; q < nq; ++q)
+            freqs[q] = pattern[q % 3] + rng.gaussian(0.0, 0.002);
+    } else {
+        for (std::size_t q = 0; q < nq; ++q)
+            freqs[q] = rng.uniform(5.00, 5.40);
+    }
+    return freqs;
+}
+
+TEST(Property, AnyCollisionIffCountsNonzero)
+{
+    Rng rng(123);
+    std::size_t colliding = 0, surviving = 0;
+    for (int iter = 0; iter < 300; ++iter) {
+        Architecture arch = randomArch(rng);
+        CollisionChecker checker(arch);
+        const auto freqs = randomFreqs(rng, arch.numQubits());
+        const auto counts = checker.countCollisions(freqs);
+        const std::size_t total =
+            std::accumulate(counts.begin(), counts.end(),
+                            std::size_t{0});
+        EXPECT_EQ(checker.anyCollision(freqs), total > 0);
+        ++(total > 0 ? colliding : surviving);
+    }
+    // The generator must have exercised both outcomes.
+    EXPECT_GT(colliding, 0u);
+    EXPECT_GT(surviving, 0u);
+}
+
+TEST(Property, BatchMatchesScalarTrialForTrial)
+{
+    constexpr std::size_t B = BatchCollisionChecker::kLanes;
+    Rng rng(321);
+    for (int iter = 0; iter < 60; ++iter) {
+        Architecture arch = randomArch(rng);
+        CollisionChecker checker(arch);
+        BatchCollisionChecker batch(checker);
+        const std::size_t nq = arch.numQubits();
+        // 1..3*B trials, deliberately hitting every remainder size.
+        const std::size_t trials = 1 + rng.below(3 * B);
+        const std::size_t blocks = (trials + B - 1) / B;
+
+        std::vector<std::vector<double>> rows(trials);
+        std::vector<double> soa(blocks * nq * B, 5.0);
+        for (std::size_t t = 0; t < trials; ++t) {
+            rows[t] = randomFreqs(rng, nq);
+            for (std::size_t q = 0; q < nq; ++q)
+                soa[BatchCollisionChecker::soaIndex(t, q, nq)] =
+                    rows[t][q];
+        }
+
+        for (std::size_t bi = 0; bi < blocks; ++bi) {
+            const std::size_t active = std::min(B, trials - bi * B);
+            const uint8_t mask =
+                batch.survivorMask(&soa[bi * nq * B], active);
+            // Bits at and above `active` must be clear.
+            EXPECT_EQ(mask >> active, 0u);
+            for (std::size_t l = 0; l < active; ++l) {
+                const bool batch_survives = (mask >> l) & 1u;
+                EXPECT_EQ(batch_survives,
+                          !checker.anyCollision(rows[bi * B + l]))
+                    << "iter " << iter << " trial " << bi * B + l;
+            }
+        }
+    }
 }
 
 } // namespace
