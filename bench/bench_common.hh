@@ -2,17 +2,23 @@
  * @file
  * Shared configuration for the bench binaries.
  *
- * Every bench honours the QPAD_FAST environment variable (any
- * non-empty value) to run with reduced Monte Carlo budgets during
+ * Every bench honours the QPAD_FAST environment variable (0/1, or
+ * unset/empty = off) to run with reduced Monte Carlo budgets during
  * development; the default budgets follow the paper (10,000 yield
  * trials, sigma = 30 MHz). QPAD_THREADS caps the worker count of the
  * parallel runtime (0 or unset = one per hardware thread, 1 =
- * sequential); results are identical for every setting.
+ * sequential); results are identical for every setting. Malformed
+ * values (negative counts, trailing garbage, out-of-range numbers,
+ * QPAD_FAST flags other than 0/1) abort with a message instead of
+ * being silently coerced into a surprising configuration.
  */
 
 #ifndef QPAD_BENCH_BENCH_COMMON_HH
 #define QPAD_BENCH_BENCH_COMMON_HH
 
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 
 #include "eval/experiment.hh"
@@ -20,11 +26,28 @@
 namespace qpad::bench
 {
 
+[[noreturn]] inline void
+dieOnEnv(const char *name, const char *value, const char *expected)
+{
+    std::fprintf(stderr, "qpad bench: invalid %s value '%s' (%s)\n",
+                 name, value, expected);
+    std::exit(2);
+}
+
+/** Development fast mode: QPAD_FAST must be unset, empty, 0, or 1. */
 inline bool
 fastMode()
 {
     const char *fast = std::getenv("QPAD_FAST");
-    return fast && *fast;
+    if (!fast || !*fast)
+        return false;
+    if (fast[0] != '\0' && fast[1] == '\0') {
+        if (fast[0] == '0')
+            return false;
+        if (fast[0] == '1')
+            return true;
+    }
+    dieOnEnv("QPAD_FAST", fast, "expected 0 or 1");
 }
 
 /** Worker-thread override from QPAD_THREADS (0 = hardware). */
@@ -33,8 +56,22 @@ execOptions()
 {
     runtime::Options exec;
     const char *threads = std::getenv("QPAD_THREADS");
-    if (threads && *threads)
-        exec.num_threads = std::strtoul(threads, nullptr, 10);
+    if (!threads || !*threads)
+        return exec;
+    // Digits only: strtoul would silently accept (and wrap) signs,
+    // whitespace, and hex prefixes.
+    for (const char *c = threads; *c; ++c)
+        if (!std::isdigit(static_cast<unsigned char>(*c)))
+            dieOnEnv("QPAD_THREADS", threads,
+                     "expected a nonnegative integer");
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(threads, &end, 10);
+    constexpr unsigned long long kMaxThreads = 4096;
+    if (errno == ERANGE || *end != '\0' || v > kMaxThreads)
+        dieOnEnv("QPAD_THREADS", threads,
+                 "expected a thread count of at most 4096");
+    exec.num_threads = std::size_t(v);
     return exec;
 }
 

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Microbenchmark of Gaussian sampling for the yield Monte Carlo:
+ * the legacy scalar Rng::gaussian() trial-major fill (draw scheme
+ * v1) versus the lane-parallel GaussianBlockSampler filling the
+ * same SoA trial blocks directly (scheme v2), plus the end-to-end
+ * effect on estimateYield, single-threaded so the sampler itself is
+ * what is measured.
+ *
+ * The bench also asserts the v2 determinism contract on every run —
+ * bit-identical estimateYield tallies across thread counts and a
+ * QPAD_RNG_V1 env round trip — and exits nonzero on any violation.
+ * QPAD_FAST reduces the budgets.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "arch/ibm.hh"
+#include "bench_common.hh"
+#include "common/gauss_block.hh"
+#include "eval/report.hh"
+#include "yield/yield_sim.hh"
+
+using namespace qpad;
+
+namespace
+{
+
+constexpr std::size_t B = GaussianBlockSampler::kLanes;
+
+double
+seconds(std::chrono::steady_clock::time_point t0,
+        std::chrono::steady_clock::time_point t1)
+{
+    return std::chrono::duration<double>(t1 - t0).count();
+}
+
+/**
+ * ns per deviate for both samplers filling `reps` SoA blocks of
+ * nq qubits by 8 lanes (the estimateYield inner loop with the
+ * collision check removed).
+ */
+void
+benchFill(std::size_t nq, std::size_t reps)
+{
+    std::vector<double> means(nq);
+    for (std::size_t q = 0; q < nq; ++q)
+        means[q] = 5.0 + 0.01 * double(q % 34);
+    std::vector<double> block(nq * B);
+    const double sigma = 0.030;
+    using clock = std::chrono::steady_clock;
+
+    Rng rng(1);
+    double sink = 0.0;
+    const auto s0 = clock::now();
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+        for (std::size_t l = 0; l < B; ++l)
+            for (std::size_t q = 0; q < nq; ++q)
+                block[q * B + l] = rng.gaussian(means[q], sigma);
+        sink += block[0];
+    }
+    const auto s1 = clock::now();
+
+    GaussianBlockSampler sampler(1);
+    const auto b0 = clock::now();
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+        sampler.fillAffine(block.data(), means.data(), sigma, nq);
+        sink += block[0];
+    }
+    const auto b1 = clock::now();
+
+    const double deviates = double(reps) * double(nq) * double(B);
+    const double scalar_ns = seconds(s0, s1) / deviates * 1e9;
+    const double lane_ns = seconds(b0, b1) / deviates * 1e9;
+    std::printf("%-22s %11.2f %11.2f %9.2fx   (sink %.3g)\n",
+                nq == 16 ? "fill 16q blocks" : "fill 32q blocks",
+                scalar_ns, lane_ns, scalar_ns / lane_ns, sink);
+}
+
+/** us per trial of estimateYield under the given scheme. */
+double
+timeYield(const arch::Architecture &arch, RngScheme scheme,
+          std::size_t trials, std::size_t &successes)
+{
+    yield::YieldOptions opts;
+    opts.trials = trials;
+    opts.seed = 11;
+    opts.sigma_ghz = 0.030;
+    opts.exec.num_threads = 1;
+    opts.rng_scheme = scheme;
+    using clock = std::chrono::steady_clock;
+    const auto t0 = clock::now();
+    const auto r = yield::estimateYield(arch, opts);
+    const auto t1 = clock::now();
+    successes = r.successes;
+    return seconds(t0, t1) / double(trials) * 1e6;
+}
+
+/** v2 contract checks; returns 0 when every identity holds. */
+int
+checkDeterminism(const arch::Architecture &arch, std::size_t trials)
+{
+    int rc = 0;
+    yield::YieldOptions opts;
+    opts.trials = trials + 3; // force a remainder batch
+    opts.seed = 2020;
+    opts.exec.num_threads = 1;
+    const auto seq = yield::estimateYield(arch, opts);
+    opts.exec.num_threads = 4;
+    const auto par = yield::estimateYield(arch, opts);
+    if (seq.successes != par.successes) {
+        std::printf("DETERMINISM VIOLATION: v2 threads 1 vs 4: "
+                    "%zu != %zu\n",
+                    seq.successes, par.successes);
+        rc = 1;
+    }
+    // Env round trip: QPAD_RNG_V1 must select exactly the kV1 path.
+    opts.exec.num_threads = 1;
+    opts.rng_scheme = RngScheme::kV1;
+    const auto v1 = yield::estimateYield(arch, opts);
+    setenv("QPAD_RNG_V1", "1", 1);
+    opts.rng_scheme = RngScheme::kV2;
+    const auto forced = yield::estimateYield(arch, opts);
+    unsetenv("QPAD_RNG_V1");
+    const auto back = yield::estimateYield(arch, opts);
+    if (forced.successes != v1.successes ||
+        back.successes != seq.successes) {
+        std::printf("DETERMINISM VIOLATION: QPAD_RNG_V1 round trip "
+                    "(%zu/%zu vs %zu/%zu)\n",
+                    forced.successes, v1.successes, back.successes,
+                    seq.successes);
+        rc = 1;
+    }
+    return rc;
+}
+
+} // namespace
+
+int
+main()
+{
+    eval::printHeader(std::cout,
+                      "Gaussian sampling: scalar Rng vs lane-parallel "
+                      "block sampler");
+
+    // This bench compares the schemes against each other, and its
+    // determinism check flips QPAD_RNG_V1 itself; an inherited
+    // override would silently turn the "v2" rows into v1 and then
+    // trip the round-trip check with a spurious violation.
+    if (std::getenv("QPAD_RNG_V1")) {
+        std::printf("note: ignoring inherited QPAD_RNG_V1 (this "
+                    "bench exercises both schemes itself)\n\n");
+        unsetenv("QPAD_RNG_V1");
+    }
+
+    const std::size_t reps = bench::fastMode() ? 20000 : 200000;
+    std::printf("%zu blocks of 8 lanes per pass\n\n", reps);
+    std::printf("%-22s %11s %11s %10s\n", "workload", "scalar ns",
+                "lanes ns", "speedup");
+    benchFill(16, reps);
+    benchFill(32, reps);
+
+    const std::size_t trials = bench::fastMode() ? 40000 : 200000;
+    auto arch = arch::ibm16Q(false);
+    std::size_t s1 = 0, s2 = 0;
+    const double us_v1 = timeYield(arch, RngScheme::kV1, trials, s1);
+    const double us_v2 = timeYield(arch, RngScheme::kV2, trials, s2);
+    std::printf("\nestimateYield (16q, sigma 30 MHz, %zu trials, "
+                "1 thread):\n",
+                trials);
+    std::printf("  v1 scalar draws:  %.3f us/trial (yield %.4f)\n",
+                us_v1, double(s1) / double(trials));
+    std::printf("  v2 lane draws:    %.3f us/trial (yield %.4f)\n",
+                us_v2, double(s2) / double(trials));
+    std::printf("  end-to-end speedup: %.2fx\n", us_v1 / us_v2);
+
+    const int rc = checkDeterminism(arch, bench::fastMode() ? 5000
+                                                            : 20000);
+    if (rc == 0)
+        std::printf("\nv2 determinism contract holds (threads, "
+                    "remainders, env round trip)\n");
+    return rc;
+}

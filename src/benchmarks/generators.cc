@@ -1,6 +1,7 @@
 #include "benchmarks/generators.hh"
 
 #include <cmath>
+#include <numbers>
 
 #include "circuit/decompose.hh"
 #include "common/logging.hh"
@@ -19,7 +20,7 @@ qft(std::size_t n, bool measure)
     for (std::size_t i = 0; i < n; ++i) {
         circ.h(static_cast<Qubit>(i));
         for (std::size_t j = i + 1; j < n; ++j) {
-            double theta = M_PI / double(std::size_t{1} << (j - i));
+            double theta = std::numbers::pi / double(std::size_t{1} << (j - i));
             circ.cp(theta, static_cast<Qubit>(j), static_cast<Qubit>(i));
         }
     }
@@ -95,11 +96,11 @@ uccsdAnsatz(std::size_t n, bool measure)
             for (int term = 0; term < 2; ++term) {
                 // Basis changes: RX(pi/2) realizes Y, H realizes X.
                 if (term == 0) {
-                    circ.rx(M_PI_2, static_cast<Qubit>(i));
+                    circ.rx((std::numbers::pi / 2), static_cast<Qubit>(i));
                     circ.h(static_cast<Qubit>(a));
                 } else {
                     circ.h(static_cast<Qubit>(i));
-                    circ.rx(M_PI_2, static_cast<Qubit>(a));
+                    circ.rx((std::numbers::pi / 2), static_cast<Qubit>(a));
                 }
                 std::vector<Qubit> path;
                 for (std::size_t k = i; k <= a; ++k)
@@ -107,11 +108,11 @@ uccsdAnsatz(std::size_t n, bool measure)
                 pauliStringRotation(circ, path,
                                     term == 0 ? theta : -theta);
                 if (term == 0) {
-                    circ.rx(-M_PI_2, static_cast<Qubit>(i));
+                    circ.rx(-(std::numbers::pi / 2), static_cast<Qubit>(i));
                     circ.h(static_cast<Qubit>(a));
                 } else {
                     circ.h(static_cast<Qubit>(i));
-                    circ.rx(-M_PI_2, static_cast<Qubit>(a));
+                    circ.rx(-(std::numbers::pi / 2), static_cast<Qubit>(a));
                 }
                 theta += 0.01;
             }
@@ -131,26 +132,26 @@ uccsdAnsatz(std::size_t n, bool measure)
                 if (term == 0) {
                     circ.h(qi);
                     circ.h(qj);
-                    circ.rx(M_PI_2, qa);
+                    circ.rx((std::numbers::pi / 2), qa);
                     circ.h(qb);
                 } else {
-                    circ.rx(M_PI_2, qi);
+                    circ.rx((std::numbers::pi / 2), qi);
                     circ.h(qj);
                     circ.h(qa);
-                    circ.rx(M_PI_2, qb);
+                    circ.rx((std::numbers::pi / 2), qb);
                 }
                 pauliStringRotation(circ, {qi, qj, qa, qb},
                                     term == 0 ? theta : -theta);
                 if (term == 0) {
                     circ.h(qi);
                     circ.h(qj);
-                    circ.rx(-M_PI_2, qa);
+                    circ.rx(-(std::numbers::pi / 2), qa);
                     circ.h(qb);
                 } else {
-                    circ.rx(-M_PI_2, qi);
+                    circ.rx(-(std::numbers::pi / 2), qi);
                     circ.h(qj);
                     circ.h(qa);
-                    circ.rx(-M_PI_2, qb);
+                    circ.rx(-(std::numbers::pi / 2), qb);
                 }
                 theta += 0.01;
             }

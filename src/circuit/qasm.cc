@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <cmath>
+#include <numbers>
 #include <fstream>
 #include <iomanip>
 #include <map>
@@ -289,7 +290,7 @@ class ExprParser
         if (t.kind == TokKind::Ident) {
             std::string name = lex_.take().text;
             if (name == "pi")
-                return Expr::constant(M_PI);
+                return Expr::constant(std::numbers::pi);
             static const std::map<std::string, Expr::Op> funcs = {
                 {"sin", Expr::Op::Sin}, {"cos", Expr::Op::Cos},
                 {"tan", Expr::Op::Tan}, {"exp", Expr::Op::Exp},

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Lane-parallel Gaussian block sampler — the vectorized counterpart
+ * of Rng::gaussian() for the Monte Carlo hot paths.
+ *
+ * GaussianBlockSampler runs kLanes = 8 independent xoshiro256**
+ * generators with interleaved state (lane l is child stream l of the
+ * sampler seed, see Rng::childSeed) and converts their output to
+ * standard normal deviates with a batched Box-Muller transform. The
+ * log/sin/cos evaluations use fixed polynomial kernels (Cephes
+ * minimax coefficients) written against a small 8-wide vector
+ * abstraction with exactly one implementation of each arithmetic op
+ * per backend: AVX2 intrinsics when the translation unit is built
+ * with -mavx2 (the same run-on-host CMake probe as the batched
+ * collision kernel), a portable scalar loop otherwise. Every op in
+ * the pipeline is an IEEE-754 correctly-rounded primitive (add, sub,
+ * mul, div, sqrt, floor, integer bit ops) applied in an identical
+ * order by both backends, and the file is compiled with
+ * -ffp-contract=off, so the sampled bits are identical on AVX2 and
+ * non-AVX2 builds. tests/test_gauss_block.cc pins golden bit
+ * patterns to keep both backends honest.
+ *
+ * Draw-order contract ("v2 scheme", see also common/rng.hh): lane l
+ * produces an autonomous stream of deviates; a fill of n rows
+ * appends n deviates to every lane at out[row * kLanes + lane]. The
+ * per-lane streams are pure functions of the sampler seed — they do
+ * not depend on how fills are sized or batched (an odd row count
+ * carries the pending Box-Muller pair partner into the next fill),
+ * which is what makes v2 results independent of batch remainders.
+ */
+
+#ifndef QPAD_COMMON_GAUSS_BLOCK_HH
+#define QPAD_COMMON_GAUSS_BLOCK_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace qpad
+{
+
+/**
+ * Version of the random draw order used by the Monte Carlo
+ * consumers (yield simulation, frequency allocation).
+ *
+ *  - kV1: the legacy scalar order — every trial draws its deviates
+ *    one after another from a single Rng via Rng::gaussian(), whose
+ *    Box-Muller cache pairs draws across consecutive calls.
+ *  - kV2 (default): the lane order — trials are grouped in blocks of
+ *    GaussianBlockSampler::kLanes, trial t of a block consumes lane
+ *    t % kLanes of a GaussianBlockSampler, qubits in row order.
+ *
+ * Both schemes are deterministic, thread-count independent, and
+ * batch-remainder independent; they simply draw different (equally
+ * distributed) numbers for the same seed. kV1 reproduces the exact
+ * tallies of the pre-sampler releases.
+ */
+enum class RngScheme
+{
+    kV1 = 1,
+    kV2 = 2,
+};
+
+/**
+ * The scheme a simulation should actually run: `requested` unless
+ * the QPAD_RNG_V1 environment variable is set non-empty, which
+ * forces kV1 everywhere (mirroring QPAD_SCALAR_KERNEL). Queried per
+ * simulation call so tests can flip it at runtime.
+ */
+RngScheme resolveRngScheme(RngScheme requested);
+
+/** 8-lane xoshiro256** + batched Box-Muller standard normals. */
+class GaussianBlockSampler
+{
+  public:
+    /** Independent generator lanes per block (= one SoA block). */
+    static constexpr std::size_t kLanes = 8;
+
+    /**
+     * Seed the eight lanes as child streams 0..kLanes-1 of `seed`
+     * (lane l state = Rng(Rng::childSeed(seed, l))).
+     */
+    explicit GaussianBlockSampler(uint64_t seed);
+
+    /**
+     * Append the next standard normal of every lane to each of
+     * `rows` rows: out[r * kLanes + l] = lane l's deviate for row r.
+     * Fills are composable: fill(a) then fill(b) writes the same
+     * deviates as one fill(a + b).
+     */
+    void fillStandard(double *out, std::size_t rows);
+
+    /**
+     * Same draws as fillStandard, stored as
+     * out[r * kLanes + l] = means[r] + sigma * z, computed in that
+     * exact expression order on both backends. The underlying
+     * standard normals (and the carried odd-row partner) are
+     * unaffected by `means`/`sigma`, so mixed-parameter fills stay
+     * composable.
+     */
+    void fillAffine(double *out, const double *means, double sigma,
+                    std::size_t rows);
+
+  private:
+    /** Interleaved xoshiro256** state: word w of lane l. */
+    alignas(32) uint64_t state_[4][kLanes];
+    /** Pending Box-Muller partner per lane (valid iff has_carry_). */
+    alignas(32) double carry_[kLanes];
+    bool has_carry_ = false;
+};
+
+} // namespace qpad
+
+#endif // QPAD_COMMON_GAUSS_BLOCK_HH

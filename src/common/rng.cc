@@ -1,5 +1,7 @@
 #include "common/rng.hh"
 
+#include <numbers>
+
 #include "common/logging.hh"
 
 namespace qpad
@@ -20,12 +22,18 @@ Rng::rotl(uint64_t x, int k)
     return (x << k) | (x >> (64 - k));
 }
 
+void
+Rng::expandState(uint64_t seed, uint64_t (&state)[4])
+{
+    uint64_t sm = seed;
+    for (auto &s : state)
+        s = splitMix64(sm);
+}
+
 Rng::Rng(uint64_t seed)
     : cached_gauss_(0.0), has_cached_gauss_(false)
 {
-    uint64_t sm = seed;
-    for (auto &s : s_)
-        s = splitMix64(sm);
+    expandState(seed, s_);
 }
 
 uint64_t
@@ -54,7 +62,19 @@ Rng::uniform()
 double
 Rng::uniform(double lo, double hi)
 {
-    return lo + (hi - lo) * uniform();
+    const double u = uniform();
+    const double span = hi - lo;
+    // When the span overflows (hi and lo near opposite ends of the
+    // double range), lo + inf * u would collapse every draw onto the
+    // clamp below; the two-sided interpolation stays finite and
+    // uniform there. Finite spans keep the legacy expression so
+    // existing seeded draw sequences are unchanged.
+    const double v = std::isinf(span) ? lo * (1.0 - u) + hi * u
+                                      : lo + span * u;
+    // Either form can round up to exactly hi; callers rely on the
+    // half-open interval, so clamp to the largest double below hi.
+    // nextafter(hi, lo) is hi itself in the degenerate lo == hi case.
+    return v < hi ? v : std::nextafter(hi, lo);
 }
 
 uint64_t
@@ -89,7 +109,7 @@ Rng::gaussian()
     double u1 = 1.0 - uniform();
     double u2 = uniform();
     double r = std::sqrt(-2.0 * std::log(u1));
-    double theta = 2.0 * M_PI * u2;
+    double theta = 2.0 * std::numbers::pi * u2;
     cached_gauss_ = r * std::sin(theta);
     has_cached_gauss_ = true;
     return r * std::cos(theta);

@@ -33,7 +33,13 @@ class Rng
     /** Uniform double in [0, 1). */
     double uniform();
 
-    /** Uniform double in [lo, hi). */
+    /**
+     * Uniform double in [lo, hi). @pre lo <= hi. The naive
+     * lo + (hi - lo) * u can round up to exactly hi (e.g. when
+     * hi - lo is a power-of-two multiple of the ulp at hi); the
+     * result is clamped to the largest double below hi so the
+     * half-open contract holds at every magnitude.
+     */
     double uniform(double lo, double hi);
 
     /** Uniform integer in [0, n). @pre n > 0. */
@@ -74,11 +80,38 @@ class Rng
      * child(seed, s) is unrelated to Rng(seed).split() — the two
      * mechanisms serve different call sites and must not be mixed
      * within one workload.
+     *
+     * Draw-order schemes built on this splitting (see RngScheme in
+     * common/gauss_block.hh): a Monte Carlo shard with child seed s
+     * draws its Gaussians either
+     *
+     *  - v1 (legacy): from Rng(s) trial-major — trial t draws its
+     *    deviates qubit after qubit through gaussian(), whose
+     *    Box-Muller cache pairs consecutive calls; or
+     *  - v2 (default): from GaussianBlockSampler(s) lane-major —
+     *    trials are grouped in blocks of 8, lane t % 8 is the child
+     *    stream Rng::childSeed(s, t % 8), and each trial reads its
+     *    deviates from its own lane row by row.
+     *
+     * Both orders are pure functions of (seed, shard layout), so
+     * both are bit-identical across thread counts, batch remainders,
+     * and collision-kernel choices; they draw different numbers for
+     * the same seed. QPAD_RNG_V1 in the environment forces v1
+     * globally; v1 reproduces the tallies of the releases that
+     * predate the block sampler.
      */
     static uint64_t childSeed(uint64_t seed, uint64_t stream);
 
     /** Generator for child stream `stream` of `seed` (see above). */
     static Rng forStream(uint64_t seed, uint64_t stream);
+
+    /**
+     * The constructor's SplitMix64 expansion of `seed` into
+     * xoshiro256** state, exposed so the lane-parallel
+     * GaussianBlockSampler seeds its interleaved lanes exactly like
+     * Rng(seed) would.
+     */
+    static void expandState(uint64_t seed, uint64_t (&state)[4]);
 
   private:
     uint64_t s_[4];

@@ -184,18 +184,45 @@ allocateFrequencies(const Architecture &arch,
         // Common random numbers: one post-fabrication frequency table
         // shared by all candidates (only q's own entry varies), so the
         // argmax is not washed out by sampling variance. The table is
-        // generated sequentially from the allocator's single RNG
+        // generated ahead of the scan from the allocator's single RNG
         // stream; candidate evaluation below only reads it, which is
         // what makes the candidate scan safely parallel.
         const std::size_t trials = options.local_trials;
         std::vector<double> post(trials * n_inv);
         std::vector<double> q_noise(trials);
-        for (std::size_t t = 0; t < trials; ++t) {
-            double *row = &post[t * n_inv];
+        if (resolveRngScheme(options.rng_scheme) == RngScheme::kV2) {
+            // v2 lane order: one rng.next() seeds a lane sampler;
+            // trial t of each 8-trial block is lane t % 8, reading
+            // its involved-qubit deviates and then its candidate
+            // noise. The trailing block discards the unused lanes —
+            // they are independent streams, so the kept draws are
+            // the same for every `trials` remainder.
+            constexpr std::size_t B = GaussianBlockSampler::kLanes;
+            GaussianBlockSampler sampler(rng.next());
+            std::vector<double> means(n_inv + 1);
             for (std::size_t idx = 0; idx < n_inv; ++idx)
-                row[idx] = result.freqs[terms.involved[idx]] +
-                           rng.gaussian(0.0, options.sigma_ghz);
-            q_noise[t] = rng.gaussian(0.0, options.sigma_ghz);
+                means[idx] = result.freqs[terms.involved[idx]];
+            means[n_inv] = 0.0; // the q_noise row is pure noise
+            std::vector<double> z((n_inv + 1) * B);
+            for (std::size_t t0 = 0; t0 < trials; t0 += B) {
+                const std::size_t active = std::min(B, trials - t0);
+                sampler.fillAffine(z.data(), means.data(),
+                                   options.sigma_ghz, n_inv + 1);
+                for (std::size_t l = 0; l < active; ++l) {
+                    double *row = &post[(t0 + l) * n_inv];
+                    for (std::size_t idx = 0; idx < n_inv; ++idx)
+                        row[idx] = z[idx * B + l];
+                    q_noise[t0 + l] = z[n_inv * B + l];
+                }
+            }
+        } else {
+            for (std::size_t t = 0; t < trials; ++t) {
+                double *row = &post[t * n_inv];
+                for (std::size_t idx = 0; idx < n_inv; ++idx)
+                    row[idx] = result.freqs[terms.involved[idx]] +
+                               rng.gaussian(0.0, options.sigma_ghz);
+                q_noise[t] = rng.gaussian(0.0, options.sigma_ghz);
+            }
         }
 
         // Batched evaluation transposes the CRN table once into

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "arch/architecture.hh"
+#include "common/gauss_block.hh"
 #include "runtime/parallel.hh"
 #include "yield/collision.hh"
 
@@ -48,11 +49,19 @@ struct FreqAllocOptions
     unsigned refine_sweeps = 2;
     /**
      * Parallel execution of the per-qubit candidate scan (the hot
-     * path of Algorithm 3). Candidates share one sequentially
-     * generated common-random-numbers table, so the chosen
+     * path of Algorithm 3). Candidates share one common-random-
+     * numbers table generated ahead of the scan, so the chosen
      * frequencies are identical for every thread count.
      */
     runtime::Options exec = {};
+    /**
+     * Draw order of the common-random-numbers table (see RngScheme
+     * in common/gauss_block.hh): kV2 (default) fills it through the
+     * lane-parallel GaussianBlockSampler, kV1 reproduces the legacy
+     * sequential Rng::gaussian() order and therefore the exact
+     * frequencies of pre-sampler releases. QPAD_RNG_V1 forces kV1.
+     */
+    RngScheme rng_scheme = RngScheme::kV2;
 };
 
 /** Allocation outcome. */

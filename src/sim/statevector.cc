@@ -1,6 +1,7 @@
 #include "sim/statevector.hh"
 
 #include <cmath>
+#include <numbers>
 
 #include "common/logging.hh"
 #include "common/rng.hh"
@@ -52,10 +53,10 @@ matrixFor(const Gate &g, Amplitude m[2][2])
         set(1, 0, 0, -kI);
         return;
       case GateKind::T:
-        set(1, 0, 0, std::exp(kI * (M_PI / 4)));
+        set(1, 0, 0, std::exp(kI * (std::numbers::pi / 4)));
         return;
       case GateKind::Tdg:
-        set(1, 0, 0, std::exp(-kI * (M_PI / 4)));
+        set(1, 0, 0, std::exp(-kI * (std::numbers::pi / 4)));
         return;
       case GateKind::SX:
         set(Amplitude(0.5, 0.5), Amplitude(0.5, -0.5),

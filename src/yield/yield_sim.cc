@@ -22,6 +22,11 @@ namespace
  */
 constexpr std::size_t kShardTrials = 1024;
 
+// The v2 lane order identifies sampler lanes with SoA block lanes;
+// a diverging lane count would silently re-pair trials and draws.
+static_assert(GaussianBlockSampler::kLanes ==
+              BatchCollisionChecker::kLanes);
+
 /** Mergeable per-shard tallies. */
 struct ShardCounts
 {
@@ -71,6 +76,28 @@ estimateYield(const CollisionChecker &checker,
     const BatchCollisionChecker batch =
         batched ? BatchCollisionChecker(checker)
                 : BatchCollisionChecker();
+    const RngScheme scheme = resolveRngScheme(options.rng_scheme);
+
+    // Evaluate one trial of the scalar walk (count statistics or
+    // oracle check) on the post-fabrication frequencies in `post`.
+    auto scalarTrial = [&](const std::vector<double> &post,
+                           ShardCounts &local) {
+        if (options.collect_condition_stats) {
+            ConditionCounts counts = checker.countCollisions(post);
+            bool failed = false;
+            for (int c = 1; c <= 7; ++c) {
+                if (counts[c] > 0) {
+                    ++local.condition_trials[c];
+                    failed = true;
+                }
+            }
+            if (!failed)
+                ++local.successes;
+        } else {
+            if (!checker.anyCollision(post))
+                ++local.successes;
+        }
+    };
 
     // Each kShardTrials-sized block draws from its own child stream
     // of options.seed; partials merge in shard order. Thread count
@@ -79,19 +106,51 @@ estimateYield(const CollisionChecker &checker,
     ShardCounts totals = runtime::parallel_reduce(
         options.exec, options.trials, kShardTrials, ShardCounts{},
         [&](std::size_t begin, std::size_t end, std::size_t shard) {
-            Rng rng = seeds.childRng(shard);
             ShardCounts local;
             const std::size_t nq = pre_fab_freqs.size();
+            constexpr std::size_t B = BatchCollisionChecker::kLanes;
+            if (scheme == RngScheme::kV2) {
+                // v2 lane order: the shard's sampler fills a whole
+                // SoA block at once (trial t+l = lane l, qubits in
+                // row order). All kLanes lanes advance even in a
+                // remainder block — lanes are independent streams,
+                // so discarding the inactive ones cannot disturb
+                // draws elsewhere, which is what makes the tallies
+                // remainder-independent. The scalar walk reads the
+                // very same block, so kernel choice never changes
+                // the stream.
+                GaussianBlockSampler sampler(seeds.childSeed(shard));
+                std::vector<double> block(nq * B);
+                std::vector<double> post(nq);
+                for (std::size_t t = begin; t < end; t += B) {
+                    const std::size_t active = std::min(B, end - t);
+                    sampler.fillAffine(block.data(),
+                                       pre_fab_freqs.data(),
+                                       options.sigma_ghz, nq);
+                    if (batched) {
+                        local.successes += std::size_t(std::popcount(
+                            batch.survivorMask(block.data(), active)));
+                        continue;
+                    }
+                    for (std::size_t l = 0; l < active; ++l) {
+                        for (std::size_t q = 0; q < nq; ++q)
+                            post[q] = block[q * B + l];
+                        scalarTrial(post, local);
+                    }
+                }
+                return local;
+            }
+            Rng rng = seeds.childRng(shard);
             if (batched) {
-                constexpr std::size_t B = BatchCollisionChecker::kLanes;
                 std::vector<double> block(nq * B, 0.0);
                 for (std::size_t t = begin; t < end; t += B) {
                     const std::size_t active = std::min(B, end - t);
-                    // Trial-major draw order: lane l consumes exactly
-                    // the gaussians trial t+l consumes in the scalar
-                    // loop, so the RNG stream is unchanged. Remainder
-                    // lanes keep stale-but-readable values and are
-                    // masked off by `active`.
+                    // v1 trial-major draw order: lane l consumes
+                    // exactly the gaussians trial t+l consumes in
+                    // the scalar loop, so the RNG stream is
+                    // unchanged. Remainder lanes keep
+                    // stale-but-readable values and are masked off
+                    // by `active`.
                     for (std::size_t l = 0; l < active; ++l)
                         for (std::size_t q = 0; q < nq; ++q)
                             block[q * B + l] = rng.gaussian(
@@ -106,22 +165,7 @@ estimateYield(const CollisionChecker &checker,
                 for (std::size_t q = 0; q < post.size(); ++q)
                     post[q] = rng.gaussian(pre_fab_freqs[q],
                                            options.sigma_ghz);
-                if (options.collect_condition_stats) {
-                    ConditionCounts counts =
-                        checker.countCollisions(post);
-                    bool failed = false;
-                    for (int c = 1; c <= 7; ++c) {
-                        if (counts[c] > 0) {
-                            ++local.condition_trials[c];
-                            failed = true;
-                        }
-                    }
-                    if (!failed)
-                        ++local.successes;
-                } else {
-                    if (!checker.anyCollision(post))
-                        ++local.successes;
-                }
+                scalarTrial(post, local);
             }
             return local;
         },
@@ -154,12 +198,8 @@ LocalYieldSimulator::LocalYieldSimulator(
 }
 
 bool
-LocalYieldSimulator::trialSucceeds(const std::vector<double> &freqs,
-                                   double sigma_ghz, Rng &rng,
-                                   std::vector<double> &post) const
+LocalYieldSimulator::postSucceeds(const std::vector<double> &post) const
 {
-    for (PhysQubit q : involved_)
-        post[q] = rng.gaussian(freqs[q], sigma_ghz);
     for (const auto &p : pairs_)
         if (pairCollides(model_, post[p.a], post[p.b]))
             return false;
@@ -167,6 +207,65 @@ LocalYieldSimulator::trialSucceeds(const std::vector<double> &freqs,
         if (tripleCollides(model_, post[tr.j], post[tr.k], post[tr.i]))
             return false;
     return true;
+}
+
+bool
+LocalYieldSimulator::trialSucceeds(const std::vector<double> &freqs,
+                                   double sigma_ghz, Rng &rng,
+                                   std::vector<double> &post) const
+{
+    for (PhysQubit q : involved_)
+        post[q] = rng.gaussian(freqs[q], sigma_ghz);
+    return postSucceeds(post);
+}
+
+std::size_t
+LocalYieldSimulator::runTrialsV2(const std::vector<double> &freqs,
+                                 double sigma_ghz, std::size_t count,
+                                 GaussianBlockSampler &sampler,
+                                 bool batched) const
+{
+    constexpr std::size_t B = BatchCollisionChecker::kLanes;
+    const std::size_t n_inv = involved_.size();
+    // The sampler fills a compact involved-major scratch (its rows
+    // must be contiguous). The batched kernel reads a full SoA block
+    // whose uninvolved rows keep the pre-fabrication value in every
+    // lane; the scalar walk reads the same draws through a per-lane
+    // post vector — exactly like the v1 scratch buffer — via the
+    // shared postSucceeds term walk.
+    std::vector<double> means(n_inv);
+    for (std::size_t i = 0; i < n_inv; ++i)
+        means[i] = freqs[involved_[i]];
+    std::vector<double> scratch(n_inv * B);
+    std::vector<double> block;
+    if (batched) {
+        block.resize(freqs.size() * B);
+        for (std::size_t q = 0; q < freqs.size(); ++q)
+            for (std::size_t l = 0; l < B; ++l)
+                block[q * B + l] = freqs[q];
+    }
+    std::vector<double> post(freqs);
+
+    std::size_t successes = 0;
+    for (std::size_t t = 0; t < count; t += B) {
+        const std::size_t active = std::min(B, count - t);
+        sampler.fillAffine(scratch.data(), means.data(), sigma_ghz,
+                           n_inv);
+        if (batched) {
+            for (std::size_t i = 0; i < n_inv; ++i)
+                std::copy_n(&scratch[i * B], B,
+                            &block[std::size_t(involved_[i]) * B]);
+            successes += std::size_t(std::popcount(
+                batch_.survivorMask(block.data(), active)));
+            continue;
+        }
+        for (std::size_t l = 0; l < active; ++l) {
+            for (std::size_t i = 0; i < n_inv; ++i)
+                post[involved_[i]] = scratch[i * B + l];
+            successes += postSucceeds(post);
+        }
+    }
+    return successes;
 }
 
 std::size_t
@@ -204,7 +303,7 @@ LocalYieldSimulator::runTrials(const std::vector<double> &freqs,
 double
 LocalYieldSimulator::simulate(const std::vector<double> &freqs,
                               double sigma_ghz, std::size_t trials,
-                              Rng &rng) const
+                              Rng &rng, RngScheme scheme) const
 {
     if (pairs_.empty() && triples_.empty())
         return 1.0;
@@ -213,8 +312,18 @@ LocalYieldSimulator::simulate(const std::vector<double> &freqs,
     if (trials == 0)
         return 0.0;
 
-    const std::size_t successes =
-        runTrials(freqs, sigma_ghz, trials, rng, useBatchedKernel());
+    std::size_t successes;
+    if (resolveRngScheme(scheme) == RngScheme::kV2) {
+        // One draw of the caller's generator seeds the lane sampler:
+        // repeated calls stay independent, and the caller's stream
+        // advances deterministically regardless of `trials`.
+        GaussianBlockSampler sampler(rng.next());
+        successes = runTrialsV2(freqs, sigma_ghz, trials, sampler,
+                                useBatchedKernel());
+    } else {
+        successes = runTrials(freqs, sigma_ghz, trials, rng,
+                              useBatchedKernel());
+    }
     return double(successes) / double(trials);
 }
 
@@ -222,7 +331,8 @@ double
 LocalYieldSimulator::simulate(const std::vector<double> &freqs,
                               double sigma_ghz, std::size_t trials,
                               uint64_t seed,
-                              const runtime::Options &exec) const
+                              const runtime::Options &exec,
+                              RngScheme scheme) const
 {
     if (pairs_.empty() && triples_.empty())
         return 1.0;
@@ -230,10 +340,16 @@ LocalYieldSimulator::simulate(const std::vector<double> &freqs,
         return 0.0;
 
     const bool batched = useBatchedKernel();
+    const RngScheme active = resolveRngScheme(scheme);
     const runtime::SeedSequence seeds(seed);
     std::size_t successes = runtime::parallel_reduce(
         exec, trials, kShardTrials, std::size_t{0},
         [&](std::size_t begin, std::size_t end, std::size_t shard) {
+            if (active == RngScheme::kV2) {
+                GaussianBlockSampler sampler(seeds.childSeed(shard));
+                return runTrialsV2(freqs, sigma_ghz, end - begin,
+                                   sampler, batched);
+            }
             Rng rng = seeds.childRng(shard);
             return runTrials(freqs, sigma_ghz, end - begin, rng,
                              batched);

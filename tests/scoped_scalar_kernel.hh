@@ -1,11 +1,11 @@
 /**
  * @file
- * Test helper: force the scalar collision kernel for one scope.
+ * Test helpers: force an environment flag for one scope.
  *
- * The variable may be set externally (the CI sanitize job runs whole
- * test binaries under QPAD_SCALAR_KERNEL=1); clobbering it would
- * silently re-enable the batched kernel for the remaining tests, so
- * the destructor restores the exact prior value.
+ * The variables may be set externally (the CI sanitize job runs
+ * whole test binaries under QPAD_SCALAR_KERNEL=1 and QPAD_RNG_V1=1);
+ * clobbering one would silently change behaviour for the remaining
+ * tests, so the destructor restores the exact prior value.
  */
 
 #ifndef QPAD_TESTS_SCOPED_SCALAR_KERNEL_HH
@@ -17,30 +17,46 @@
 namespace qpad::test
 {
 
-class ScopedScalarKernel
+/** Sets `name=value` for its lifetime, then restores the old state. */
+class ScopedEnv
 {
   public:
-    ScopedScalarKernel()
+    ScopedEnv(const char *name, const char *value) : name_(name)
     {
-        const char *prev = std::getenv("QPAD_SCALAR_KERNEL");
+        const char *prev = std::getenv(name);
         had_prev_ = prev != nullptr;
         if (had_prev_)
             prev_ = prev;
-        setenv("QPAD_SCALAR_KERNEL", "1", 1);
+        setenv(name, value, 1);
     }
-    ~ScopedScalarKernel()
+    ~ScopedEnv()
     {
         if (had_prev_)
-            setenv("QPAD_SCALAR_KERNEL", prev_.c_str(), 1);
+            setenv(name_.c_str(), prev_.c_str(), 1);
         else
-            unsetenv("QPAD_SCALAR_KERNEL");
+            unsetenv(name_.c_str());
     }
-    ScopedScalarKernel(const ScopedScalarKernel &) = delete;
-    ScopedScalarKernel &operator=(const ScopedScalarKernel &) = delete;
+    ScopedEnv(const ScopedEnv &) = delete;
+    ScopedEnv &operator=(const ScopedEnv &) = delete;
 
   private:
+    std::string name_;
     bool had_prev_ = false;
     std::string prev_;
+};
+
+/** Forces the scalar collision kernel for one scope. */
+class ScopedScalarKernel : public ScopedEnv
+{
+  public:
+    ScopedScalarKernel() : ScopedEnv("QPAD_SCALAR_KERNEL", "1") {}
+};
+
+/** Forces the legacy v1 draw scheme for one scope. */
+class ScopedRngV1 : public ScopedEnv
+{
+  public:
+    ScopedRngV1() : ScopedEnv("QPAD_RNG_V1", "1") {}
 };
 
 } // namespace qpad::test

@@ -1,0 +1,454 @@
+/**
+ * @file
+ * Tests for the lane-parallel Gaussian block sampler and the
+ * versioned v1/v2 draw schemes of the Monte Carlo consumers.
+ *
+ * The golden-bit tests pin the sampler output for a fixed seed; the
+ * same constants must hold on AVX2 and non-AVX2 builds (the CI
+ * matrix runs both), which is the cross-build half of the v2
+ * bit-identity contract. The yield-level tests check the other
+ * halves: thread counts, batch remainders, collision kernels, and
+ * the QPAD_RNG_V1 environment override — plus the legacy golden
+ * tallies that scheme v1 must keep reproducing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "arch/ibm.hh"
+#include "common/gauss_block.hh"
+#include "common/rng.hh"
+#include "design/freq_alloc.hh"
+#include "scoped_scalar_kernel.hh"
+#include "yield/yield_sim.hh"
+
+namespace
+{
+
+using namespace qpad;
+using arch::Architecture;
+using test::ScopedRngV1;
+using test::ScopedScalarKernel;
+
+constexpr std::size_t B = GaussianBlockSampler::kLanes;
+
+// --------------------------------------------------------------------
+// Sampler-level: bit exactness, composition, moments
+// --------------------------------------------------------------------
+
+TEST(GaussBlock, GoldenBitsIdenticalOnEveryBackend)
+{
+    // Captured from the AVX2 build and verified identical on the
+    // portable build; any drift (FMA contraction, reordered
+    // polynomial ops, changed lane seeding) breaks cross-build v2
+    // reproducibility and must fail here.
+    const uint64_t golden_row0[B] = {
+        0xbfab60409c23520eull, 0x3ff1ff61818fa3feull,
+        0x4000def7d202eda1ull, 0xc0007c3259ce2f21ull,
+        0xbfd0e9a5c60fd530ull, 0xbfd302dc4224fc99ull,
+        0xbfc4b524fb23c37eull, 0xbfe1af3376eeea39ull,
+    };
+    const uint64_t golden_row57[B] = {
+        0x3fe61aff820cc212ull, 0xbfc10032bd7f588aull,
+        0xbfc8d687d3ca22bdull, 0xbfe28ab894f847faull,
+        0xbfdd6a8c6fb6d411ull, 0xbffde60dd8aaaef5ull,
+        0x3ff02907c0cf0845ull, 0x3ff29cfe3acc1711ull,
+    };
+    GaussianBlockSampler sampler(12345);
+    std::vector<double> out(64 * B);
+    sampler.fillStandard(out.data(), 64);
+    for (std::size_t l = 0; l < B; ++l) {
+        EXPECT_EQ(std::bit_cast<uint64_t>(out[l]), golden_row0[l])
+            << "lane " << l;
+        EXPECT_EQ(std::bit_cast<uint64_t>(out[57 * B + l]),
+                  golden_row57[l])
+            << "lane " << l;
+    }
+}
+
+TEST(GaussBlock, LanesAreChildStreamsNearLibmBoxMuller)
+{
+    // Lane l must draw from Rng::forStream(seed, l) and apply
+    // Box-Muller in the documented order; the polynomial kernels may
+    // differ from libm only by rounding noise.
+    GaussianBlockSampler sampler(2718);
+    constexpr std::size_t rows = 4096;
+    std::vector<double> out(rows * B);
+    sampler.fillStandard(out.data(), rows);
+    for (std::size_t l = 0; l < B; ++l) {
+        Rng lane = Rng::forStream(2718, l);
+        for (std::size_t r = 0; r < rows; r += 2) {
+            const double u1 = 1.0 - lane.uniform();
+            const double u2 = lane.uniform();
+            const double rad = std::sqrt(-2.0 * std::log(u1));
+            const double theta = 2.0 * 3.14159265358979323846 * u2;
+            ASSERT_NEAR(out[r * B + l], rad * std::cos(theta), 1e-13);
+            if (r + 1 < rows)
+                ASSERT_NEAR(out[(r + 1) * B + l],
+                            rad * std::sin(theta), 1e-13);
+        }
+    }
+}
+
+TEST(GaussBlock, ChunkedFillsComposeBitExactly)
+{
+    // fill(a); fill(b) must equal fill(a + b): the odd-row carry is
+    // what makes every batch-remainder pattern draw the same
+    // numbers.
+    constexpr std::size_t rows = 257;
+    GaussianBlockSampler one(99), chunked(99);
+    std::vector<double> a(rows * B), b(rows * B);
+    one.fillStandard(a.data(), rows);
+    std::size_t off = 0;
+    for (std::size_t n : {std::size_t{1}, std::size_t{3},
+                          std::size_t{2}, std::size_t{8},
+                          std::size_t{115}, std::size_t{128}}) {
+        chunked.fillStandard(b.data() + off * B, n);
+        off += n;
+    }
+    ASSERT_EQ(off, rows);
+    for (std::size_t i = 0; i < rows * B; ++i)
+        ASSERT_EQ(std::bit_cast<uint64_t>(a[i]),
+                  std::bit_cast<uint64_t>(b[i]))
+            << "index " << i;
+}
+
+TEST(GaussBlock, AffineAppliesMeanAndSigmaToTheSameDraws)
+{
+    constexpr std::size_t rows = 33; // odd: exercises the carry
+    std::vector<double> means(rows);
+    for (std::size_t r = 0; r < rows; ++r)
+        means[r] = 5.0 + 0.01 * double(r);
+    const double sigma = 0.030;
+
+    GaussianBlockSampler raw(7), affine(7);
+    std::vector<double> z(rows * B), v(rows * B);
+    raw.fillStandard(z.data(), rows);
+    affine.fillAffine(v.data(), means.data(), sigma, rows);
+    for (std::size_t r = 0; r < rows; ++r) {
+        for (std::size_t l = 0; l < B; ++l) {
+            // Separate statements so the test itself cannot fuse
+            // the multiply-add and diverge by an ulp.
+            const double scaled = sigma * z[r * B + l];
+            const double expect = means[r] + scaled;
+            ASSERT_EQ(std::bit_cast<uint64_t>(v[r * B + l]),
+                      std::bit_cast<uint64_t>(expect))
+                << "row " << r << " lane " << l;
+        }
+    }
+}
+
+TEST(GaussBlock, MomentsMatchStandardNormalAndScalarSampler)
+{
+    constexpr std::size_t rows = 125000; // 1e6 deviates pooled
+    GaussianBlockSampler sampler(31415);
+    std::vector<double> out(rows * B);
+    sampler.fillStandard(out.data(), rows);
+
+    auto moments = [](const std::vector<double> &xs) {
+        double m1 = 0, m2 = 0, m3 = 0;
+        for (double x : xs) {
+            m1 += x;
+            m2 += x * x;
+            m3 += x * x * x;
+        }
+        const double n = double(xs.size());
+        return std::array<double, 3>{m1 / n, m2 / n, m3 / n};
+    };
+    const auto block = moments(out);
+    EXPECT_NEAR(block[0], 0.0, 0.005);
+    EXPECT_NEAR(block[1], 1.0, 0.01);
+    EXPECT_NEAR(block[2], 0.0, 0.02); // odd moment ~ skew
+
+    std::vector<double> scalar(out.size());
+    Rng rng(31415);
+    for (double &x : scalar)
+        x = rng.gaussian();
+    const auto legacy = moments(scalar);
+    EXPECT_NEAR(block[0], legacy[0], 0.01);
+    EXPECT_NEAR(block[1], legacy[1], 0.02);
+    EXPECT_NEAR(block[2], legacy[2], 0.04);
+}
+
+TEST(GaussBlock, ResolveSchemeHonoursEnvOverride)
+{
+    EXPECT_EQ(resolveRngScheme(RngScheme::kV1), RngScheme::kV1);
+    {
+        ScopedRngV1 forced;
+        EXPECT_EQ(resolveRngScheme(RngScheme::kV2), RngScheme::kV1);
+        EXPECT_EQ(resolveRngScheme(RngScheme::kV1), RngScheme::kV1);
+    }
+}
+
+// --------------------------------------------------------------------
+// estimateYield: scheme goldens and the v2 identity contract
+// --------------------------------------------------------------------
+
+TEST(YieldScheme, V1ReproducesLegacyGoldenTallies)
+{
+    // Captured from the release that predates the block sampler
+    // (plain ibm16Q, 4999 trials, seed 11 — full shards plus a
+    // 903-trial tail with a 7-lane remainder batch). Scheme v1 is
+    // the compatibility contract: these exact tallies, forever.
+    auto arch = arch::ibm16Q(false);
+    yield::YieldOptions opts;
+    opts.trials = 4999;
+    opts.seed = 11;
+    opts.rng_scheme = RngScheme::kV1;
+    EXPECT_EQ(estimateYield(arch, opts).successes, 109u);
+
+    ScopedRngV1 forced; // env must force the same path from kV2
+    opts.rng_scheme = RngScheme::kV2;
+    EXPECT_EQ(estimateYield(arch, opts).successes, 109u);
+}
+
+TEST(YieldScheme, V1ReproducesLegacyConditionStats)
+{
+    auto arch = arch::ibm16Q(false);
+    yield::YieldOptions opts;
+    opts.trials = 10000;
+    opts.seed = 2020;
+    opts.collect_condition_stats = true;
+    opts.rng_scheme = RngScheme::kV1;
+    auto r = estimateYield(arch, opts);
+    EXPECT_EQ(r.successes, 188u);
+    EXPECT_EQ(r.condition_trials[1], 7228u);
+    EXPECT_EQ(r.condition_trials[7], 6485u);
+}
+
+TEST(YieldScheme, V2BitIdenticalAcrossThreadCounts)
+{
+    auto arch = arch::ibm16Q(true);
+    yield::YieldOptions opts;
+    opts.trials = 4999;
+    opts.seed = 2020;
+    opts.exec.num_threads = 1;
+    const auto seq = estimateYield(arch, opts);
+    for (std::size_t threads : {2u, 4u, 7u}) {
+        opts.exec.num_threads = threads;
+        const auto par = estimateYield(arch, opts);
+        EXPECT_EQ(par.successes, seq.successes) << threads;
+        EXPECT_DOUBLE_EQ(par.yield, seq.yield) << threads;
+    }
+}
+
+TEST(YieldScheme, V2KernelChoiceNeverChangesTallies)
+{
+    // Batched SoA kernel vs forced scalar oracle vs the
+    // condition-stats walk (always scalar): all three read the same
+    // sampler blocks, so successes must agree bit for bit at every
+    // batch remainder, including sub-lane trial counts.
+    auto arch = arch::ibm16Q(true);
+    for (std::size_t trials :
+         {std::size_t{1}, std::size_t{5}, std::size_t{8},
+          std::size_t{9}, std::size_t{1024}, std::size_t{1031}}) {
+        yield::YieldOptions opts;
+        opts.trials = trials;
+        opts.seed = 7;
+        const auto batched = estimateYield(arch, opts);
+        yield::YieldResult scalar;
+        {
+            ScopedScalarKernel forced;
+            scalar = estimateYield(arch, opts);
+        }
+        opts.collect_condition_stats = true;
+        const auto stats = estimateYield(arch, opts);
+        EXPECT_EQ(batched.successes, scalar.successes) << trials;
+        EXPECT_EQ(batched.successes, stats.successes) << trials;
+    }
+}
+
+TEST(YieldScheme, EnvFlipRoundTripRestoresTheScheme)
+{
+    auto arch = arch::ibm16Q(false);
+    yield::YieldOptions opts;
+    opts.trials = 3000;
+    opts.seed = 5;
+    const auto before = estimateYield(arch, opts);
+    yield::YieldResult forced_env;
+    {
+        ScopedRngV1 forced;
+        forced_env = estimateYield(arch, opts);
+    }
+    const auto after = estimateYield(arch, opts);
+
+    opts.rng_scheme = RngScheme::kV1;
+    const auto v1 = estimateYield(arch, opts);
+    EXPECT_EQ(forced_env.successes, v1.successes);
+    EXPECT_EQ(before.successes, after.successes);
+    EXPECT_DOUBLE_EQ(before.yield, after.yield);
+}
+
+TEST(YieldScheme, V2GoldenTalliesIdenticalOnEveryBuild)
+{
+    // The v2 counterpart of the legacy goldens, captured once on the
+    // AVX2 build: the CI matrix re-runs this on the portable build
+    // (where the yield path takes the scalar walk over the very
+    // same sampler blocks), so any backend divergence — sampler or
+    // kernel — fails here.
+    if (resolveRngScheme(RngScheme::kV2) != RngScheme::kV2)
+        GTEST_SKIP() << "QPAD_RNG_V1 forces v1 in this environment";
+    auto arch = arch::ibm16Q(false);
+    yield::YieldOptions opts;
+    opts.trials = 4999;
+    opts.seed = 11;
+    EXPECT_EQ(estimateYield(arch, opts).successes, 81u);
+
+    opts.trials = 10000;
+    opts.seed = 2020;
+    opts.collect_condition_stats = true;
+    const auto stats = estimateYield(arch, opts);
+    EXPECT_EQ(stats.successes, 178u);
+    EXPECT_EQ(stats.condition_trials[1], 7246u);
+    EXPECT_EQ(stats.condition_trials[7], 6469u);
+
+    design::FreqAllocOptions fopts;
+    fopts.local_trials = 300;
+    fopts.refine_sweeps = 1;
+    const auto fr = design::allocateFrequencies(arch, fopts);
+    EXPECT_DOUBLE_EQ(fr.freqs[0], 5.1699999999999964);
+    EXPECT_DOUBLE_EQ(fr.freqs[5], 5.2399999999999949);
+    EXPECT_DOUBLE_EQ(fr.freqs[15], 5.2499999999999947);
+}
+
+TEST(YieldScheme, V2ActuallyDrawsADifferentStreamThanV1)
+{
+    if (resolveRngScheme(RngScheme::kV2) != RngScheme::kV2)
+        GTEST_SKIP() << "QPAD_RNG_V1 forces v1 in this environment";
+    auto arch = arch::ibm16Q(false);
+    yield::YieldOptions opts;
+    opts.trials = 4999;
+    opts.seed = 11;
+    const auto v2 = estimateYield(arch, opts);
+    opts.rng_scheme = RngScheme::kV1;
+    const auto v1 = estimateYield(arch, opts);
+    // Deterministic for this (seed, trials): the lane order draws
+    // different numbers, so the tallies differ.
+    EXPECT_NE(v2.successes, v1.successes);
+}
+
+// --------------------------------------------------------------------
+// LocalYieldSimulator under v2
+// --------------------------------------------------------------------
+
+TEST(LocalScheme, ShardedV2IdenticalAcrossThreadCounts)
+{
+    auto arch = arch::ibm16Q(false);
+    yield::CollisionChecker checker(arch);
+    std::vector<arch::PhysQubit> involved(arch.numQubits());
+    std::iota(involved.begin(), involved.end(), 0u);
+    yield::LocalYieldSimulator sim(checker.pairs(), checker.triples(),
+                                   {}, involved);
+    const double seq = sim.simulate(arch.frequencies(), 0.03, 20000,
+                                    5, runtime::Options{1});
+    const double par = sim.simulate(arch.frequencies(), 0.03, 20000,
+                                    5, runtime::Options{4});
+    EXPECT_DOUBLE_EQ(seq, par);
+}
+
+TEST(LocalScheme, V2KernelEnvIsBitIdentical)
+{
+    auto arch = arch::ibm16Q(false);
+    yield::CollisionChecker checker(arch);
+    std::vector<arch::PhysQubit> involved(arch.numQubits());
+    std::iota(involved.begin(), involved.end(), 0u);
+    yield::LocalYieldSimulator sim(checker.pairs(), checker.triples(),
+                                   {}, involved);
+    // 1003 trials: remainder batch of 3 under both kernels.
+    Rng r1(3), r2(3);
+    const double batched =
+        sim.simulate(arch.frequencies(), 0.03, 1003, r1);
+    double scalar;
+    {
+        ScopedScalarKernel forced;
+        scalar = sim.simulate(arch.frequencies(), 0.03, 1003, r2);
+    }
+    EXPECT_DOUBLE_EQ(batched, scalar);
+}
+
+TEST(LocalScheme, RngOverloadIsDeterministicAndAdvancesParent)
+{
+    auto arch = arch::ibm16Q(false);
+    yield::CollisionChecker checker(arch);
+    std::vector<arch::PhysQubit> involved(arch.numQubits());
+    std::iota(involved.begin(), involved.end(), 0u);
+    yield::LocalYieldSimulator sim(checker.pairs(), checker.triples(),
+                                   {}, involved);
+    Rng r1(17), r2(17);
+    const double a = sim.simulate(arch.frequencies(), 0.03, 800, r1);
+    const double b = sim.simulate(arch.frequencies(), 0.03, 800, r2);
+    EXPECT_DOUBLE_EQ(a, b);
+    // The parent generators advanced identically, and a second call
+    // draws a fresh (still equal) estimate.
+    const double a2 = sim.simulate(arch.frequencies(), 0.03, 800, r1);
+    const double b2 = sim.simulate(arch.frequencies(), 0.03, 800, r2);
+    EXPECT_DOUBLE_EQ(a2, b2);
+    EXPECT_EQ(r1.next(), r2.next());
+}
+
+// --------------------------------------------------------------------
+// Frequency allocation under the schemes
+// --------------------------------------------------------------------
+
+TEST(FreqAllocScheme, V1ReproducesLegacyGoldenFrequencies)
+{
+    // Captured from the pre-sampler release (ibm16Q plain,
+    // local_trials = 300, refine_sweeps = 1, default seed 11).
+    auto arch = arch::ibm16Q(false);
+    design::FreqAllocOptions opts;
+    opts.local_trials = 300;
+    opts.refine_sweeps = 1;
+    opts.rng_scheme = RngScheme::kV1;
+    const auto r = design::allocateFrequencies(arch, opts);
+    EXPECT_DOUBLE_EQ(r.freqs[0], 5.2199999999999953);
+    EXPECT_DOUBLE_EQ(r.freqs[5], 5.2899999999999938);
+    EXPECT_DOUBLE_EQ(r.freqs[15], 5.2999999999999936);
+}
+
+TEST(FreqAllocScheme, EnvForcesV1AndRoundTrips)
+{
+    auto arch = arch::ibm16Q(false);
+    design::FreqAllocOptions opts;
+    opts.local_trials = 200;
+    opts.refine_sweeps = 0;
+    const auto before = design::allocateFrequencies(arch, opts);
+    design::FreqAllocResult env_forced;
+    {
+        ScopedRngV1 forced;
+        env_forced = design::allocateFrequencies(arch, opts);
+    }
+    const auto after = design::allocateFrequencies(arch, opts);
+    opts.rng_scheme = RngScheme::kV1;
+    const auto v1 = design::allocateFrequencies(arch, opts);
+    EXPECT_EQ(env_forced.freqs, v1.freqs);
+    EXPECT_EQ(before.freqs, after.freqs);
+}
+
+TEST(FreqAllocScheme, V2IdenticalAcrossThreadCountsAndKernels)
+{
+    auto arch = arch::ibm16Q(true);
+    design::FreqAllocOptions opts;
+    opts.local_trials = 300; // not a multiple of 8: remainder blocks
+    opts.refine_sweeps = 1;
+    opts.exec.num_threads = 1;
+    const auto seq = design::allocateFrequencies(arch, opts);
+    opts.exec.num_threads = 4;
+    const auto par = design::allocateFrequencies(arch, opts);
+    EXPECT_EQ(seq.freqs, par.freqs);
+    EXPECT_EQ(seq.local_scores, par.local_scores);
+    design::FreqAllocResult scalar;
+    {
+        ScopedScalarKernel forced;
+        scalar = design::allocateFrequencies(arch, opts);
+    }
+    EXPECT_EQ(seq.freqs, scalar.freqs);
+    EXPECT_EQ(seq.local_scores, scalar.local_scores);
+}
+
+} // namespace

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <numbers>
 #include <cstdio>
 #include <stdexcept>
 
@@ -58,9 +59,9 @@ TEST(Qasm, ParameterExpressions)
         "rz(2*pi/8+1) q[0];\n"
         "rz(cos(0)) q[0];\n"
         "rz(2^3) q[0];\n");
-    EXPECT_NEAR(c.gate(0).params[0], M_PI / 2, 1e-12);
-    EXPECT_NEAR(c.gate(1).params[0], -M_PI / 4, 1e-12);
-    EXPECT_NEAR(c.gate(2).params[0], M_PI / 4 + 1, 1e-12);
+    EXPECT_NEAR(c.gate(0).params[0], std::numbers::pi / 2, 1e-12);
+    EXPECT_NEAR(c.gate(1).params[0], -std::numbers::pi / 4, 1e-12);
+    EXPECT_NEAR(c.gate(2).params[0], std::numbers::pi / 4 + 1, 1e-12);
     EXPECT_NEAR(c.gate(3).params[0], 1.0, 1e-12);
     EXPECT_NEAR(c.gate(4).params[0], 8.0, 1e-12);
 }
@@ -113,8 +114,8 @@ TEST(Qasm, ParameterizedGateDefinition)
         "gate wiggle(t) a { rz(t/2) a; rz(-t) a; }\n"
         "wiggle(pi) q[0];\n");
     EXPECT_EQ(c.size(), 2u);
-    EXPECT_NEAR(c.gate(0).params[0], M_PI / 2, 1e-12);
-    EXPECT_NEAR(c.gate(1).params[0], -M_PI, 1e-12);
+    EXPECT_NEAR(c.gate(0).params[0], std::numbers::pi / 2, 1e-12);
+    EXPECT_NEAR(c.gate(1).params[0], -std::numbers::pi, 1e-12);
 }
 
 TEST(Qasm, NestedGateDefinitions)

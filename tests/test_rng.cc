@@ -55,6 +55,58 @@ TEST(Rng, UniformRangeRespectsBounds)
     }
 }
 
+TEST(Rng, UniformRangeStaysBelowHiAtExtremeMagnitudes)
+{
+    // Regression: lo + (hi - lo) * u can round up to exactly hi.
+    // With hi - lo = one ulp step, half the raw draws do; with the
+    // interval straddling the whole double range, hi - lo overflows
+    // to infinity. Every case must stay inside [lo, hi).
+    Rng rng(33);
+    struct Interval
+    {
+        double lo, hi;
+    };
+    const Interval cases[] = {
+        // ulp(1e16) = 2, so 2 * u rounds to 2 for u > 0.5: without
+        // the clamp this returns hi on roughly half the draws.
+        {1e16, 1e16 + 2.0},
+        // Denormal-width interval: the draw collapses to {lo, hi}.
+        {0.0, 5e-324},
+        // hi - lo overflows to +inf.
+        {-1e308, 1e308},
+        // Huge same-sign endpoints one ulp apart.
+        {1e308, std::nextafter(1e308, 2e308)},
+    };
+    for (const auto &c : cases) {
+        for (int i = 0; i < 20000; ++i) {
+            double u = rng.uniform(c.lo, c.hi);
+            ASSERT_GE(u, c.lo) << c.lo << " " << c.hi;
+            ASSERT_LT(u, c.hi) << c.lo << " " << c.hi;
+        }
+    }
+    // Degenerate zero-width interval: the only representable value.
+    for (int i = 0; i < 10; ++i)
+        EXPECT_DOUBLE_EQ(rng.uniform(2.5, 2.5), 2.5);
+}
+
+TEST(Rng, UniformOverflowSpanStaysUniform)
+{
+    // hi - lo overflows to +inf here; the draw must still cover the
+    // interval instead of collapsing onto a clamped constant.
+    Rng rng(35);
+    int negative = 0, positive = 0;
+    for (int i = 0; i < 10000; ++i) {
+        double u = rng.uniform(-1e308, 1e308);
+        ASSERT_GE(u, -1e308);
+        ASSERT_LT(u, 1e308);
+        ++(u < 0 ? negative : positive);
+    }
+    // ~50/50 split; a degenerate constant would put every draw on
+    // one side.
+    EXPECT_GT(negative, 3000);
+    EXPECT_GT(positive, 3000);
+}
+
 TEST(Rng, BelowIsInRangeAndCoversAll)
 {
     Rng rng(11);

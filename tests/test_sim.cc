@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <numbers>
 
 #include "arch/architecture.hh"
 #include "benchmarks/generators.hh"
@@ -185,7 +186,7 @@ TEST(Qft, MatchesDiscreteFourierTransform)
                 x_rev |= uint64_t{1} << (n - 1 - b);
         std::complex<double> overlap{0.0, 0.0};
         for (uint64_t k = 0; k < dim; ++k) {
-            double phase = 2.0 * M_PI * double(x_rev * k) / double(dim);
+            double phase = 2.0 * std::numbers::pi * double(x_rev * k) / double(dim);
             std::complex<double> expect =
                 std::exp(std::complex<double>(0, phase)) /
                 std::sqrt(double(dim));
@@ -260,8 +261,8 @@ checkMappedEquivalence(const Circuit &logical,
         Rng rng(seed);
         for (int layer = 0; layer < 3; ++layer) {
             for (std::size_t q = 0; q < n_logical; ++q) {
-                stub.ry(rng.uniform(0, M_PI), circuit::Qubit(q));
-                stub.rz(rng.uniform(0, M_PI), circuit::Qubit(q));
+                stub.ry(rng.uniform(0, std::numbers::pi), circuit::Qubit(q));
+                stub.rz(rng.uniform(0, std::numbers::pi), circuit::Qubit(q));
             }
             for (std::size_t q = 0; q + 1 < n_logical; q += 2)
                 stub.cx(circuit::Qubit(q), circuit::Qubit(q + 1));
