@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Microbenchmark of the persistent yield-estimate cache: a sweep of
+ * estimateYield calls over the IBM baselines plus a designed chip,
+ * run cold (empty cache) and warm (same keys again). The warm sweep
+ * must be pure hash lookups — the bench asserts bit-identical
+ * results, zero warm recomputation, and a >= 10x warm speedup, so CI
+ * catches a silently disabled or miskeyed cache as a failure.
+ *
+ * `--sweep` mode instead runs one small experiment benchmark and
+ * prints its CSV to stdout (cache counters go to stderr). The CI
+ * two-pass job runs it twice with QPAD_CACHE_DIR set and diffs the
+ * CSVs; `--expect-warm` additionally fails unless the on-disk cache
+ * produced hits, proving persistence across process invocations.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <vector>
+
+#include "arch/ibm.hh"
+#include "bench_common.hh"
+#include "cache/yield_cache.hh"
+#include "design/design_flow.hh"
+#include "eval/report.hh"
+#include "profile/coupling.hh"
+
+using namespace qpad;
+
+namespace
+{
+
+double
+seconds(std::chrono::steady_clock::time_point t0,
+        std::chrono::steady_clock::time_point t1)
+{
+    return std::chrono::duration<double>(t1 - t0).count();
+}
+
+/** The sweep working set: every baseline plus one designed chip. */
+std::vector<arch::Architecture>
+sweepArchitectures(const eval::ExperimentOptions &opts)
+{
+    std::vector<arch::Architecture> archs = arch::ibmBaselines();
+    auto circuit = benchmarks::getBenchmark("sym6_145").generate();
+    profile::CouplingProfile prof = profile::profileCircuit(circuit);
+    design::DesignFlowOptions flow;
+    flow.freq_options = opts.freq_options;
+    archs.push_back(
+        design::designArchitecture(prof, flow, "eff-sym6").architecture);
+    return archs;
+}
+
+int
+runMicrobench()
+{
+    eval::printHeader(std::cout,
+                      "Yield-estimate cache: cold vs warm sweep");
+
+    eval::ExperimentOptions opts = bench::paperOptions();
+    // Memory-only cache: the microbench must not touch (or depend
+    // on) a QPAD_CACHE_DIR the user may have configured — swap it
+    // out before the design flow runs, and reset again afterwards so
+    // the timed sweeps start from a genuinely empty store.
+    cache::configureGlobalCache({});
+    const std::vector<arch::Architecture> archs =
+        sweepArchitectures(opts);
+    cache::configureGlobalCache({});
+    // Two sigma points per architecture, as a frequency-allocation
+    // style sweep would revisit them.
+    const std::vector<double> sigmas = {0.030, 0.025};
+
+    yield::YieldOptions yopts = opts.yield_options;
+    using clock = std::chrono::steady_clock;
+
+    auto sweep = [&] {
+        // Fold the results so the work cannot be optimized away.
+        double acc = 0.0;
+        for (const arch::Architecture &arch : archs) {
+            for (double sigma : sigmas) {
+                yield::YieldOptions y = yopts;
+                y.sigma_ghz = sigma;
+                acc += cache::cachedEstimateYield(arch, y).yield;
+            }
+        }
+        return acc;
+    };
+
+    const auto c0 = clock::now();
+    const double cold_acc = sweep();
+    const auto c1 = clock::now();
+    const double warm_acc = sweep();
+    const auto c2 = clock::now();
+
+    const double cold_s = seconds(c0, c1);
+    const double warm_s = seconds(c1, c2);
+    const cache::StoreStats stats = cache::globalCacheStats();
+    const std::size_t keys = archs.size() * sigmas.size();
+
+    std::printf("architectures: %zu, sigma points: %zu, trials/key: "
+                "%zu\n",
+                archs.size(), sigmas.size(), yopts.trials);
+    std::printf("%-12s %12s %12s\n", "sweep", "seconds", "yield sum");
+    std::printf("%-12s %12.4f %12.6f\n", "cold", cold_s, cold_acc);
+    std::printf("%-12s %12.4f %12.6f\n", "warm", warm_s, warm_acc);
+    std::printf("speedup: %.1fx, cache: %llu hits / %llu misses, "
+                "%llu bytes in %llu entries\n",
+                cold_s / warm_s,
+                (unsigned long long)stats.hits,
+                (unsigned long long)stats.misses,
+                (unsigned long long)stats.bytes,
+                (unsigned long long)stats.entries);
+
+    int rc = 0;
+    if (warm_acc != cold_acc) {
+        std::fprintf(stderr, "FAIL: warm sweep changed the results\n");
+        rc = 1;
+    }
+    if (stats.misses != keys || stats.hits != keys) {
+        std::fprintf(stderr,
+                     "FAIL: expected %zu misses + %zu hits, got "
+                     "%llu + %llu\n",
+                     keys, keys, (unsigned long long)stats.misses,
+                     (unsigned long long)stats.hits);
+        rc = 1;
+    }
+    if (cold_s < warm_s * 10.0) {
+        std::fprintf(stderr,
+                     "FAIL: warm sweep must be >= 10x faster "
+                     "(cold %.4fs, warm %.4fs)\n",
+                     cold_s, warm_s);
+        rc = 1;
+    }
+    if (rc == 0)
+        std::printf("\nwarm sweep served entirely from the cache\n");
+    return rc;
+}
+
+int
+runSweepCsv(bool expect_warm)
+{
+    // Small but complete experiment; the global cache stays in
+    // whatever state the environment configured (QPAD_CACHE_DIR
+    // makes it persistent — the point of the two-pass CI job).
+    eval::ExperimentOptions opts = bench::paperOptions();
+    opts.yield_options.trials = 500;
+    opts.max_yield_trials = 5000;
+    opts.freq_options.local_trials = 150;
+    opts.freq_options.refine_sweeps = 1;
+    opts.random_bus_samples = 2;
+
+    const eval::BenchmarkExperiment exp = eval::runBenchmark(
+        benchmarks::getBenchmark("sym6_145"), opts);
+    eval::printExperimentCsv(std::cout, exp, true);
+
+    const auto &cs = exp.cache_stats;
+    std::fprintf(stderr,
+                 "qpad-cache: hits=%llu misses=%llu inserts=%llu "
+                 "evictions=%llu bytes=%llu entries=%llu\n",
+                 (unsigned long long)cs.hits,
+                 (unsigned long long)cs.misses,
+                 (unsigned long long)cs.inserts,
+                 (unsigned long long)cs.evictions,
+                 (unsigned long long)cs.bytes,
+                 (unsigned long long)cs.entries);
+    if (expect_warm && cs.hits == 0) {
+        std::fprintf(stderr, "FAIL: expected a warm cache (nonzero "
+                             "hit rate) on this pass\n");
+        return 1;
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool sweep = false, expect_warm = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--sweep") == 0)
+            sweep = true;
+        else if (std::strcmp(argv[i], "--expect-warm") == 0)
+            expect_warm = true;
+        else {
+            std::fprintf(stderr,
+                         "usage: %s [--sweep [--expect-warm]]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+    if (sweep)
+        return runSweepCsv(expect_warm);
+    if (expect_warm) {
+        std::fprintf(stderr, "--expect-warm requires --sweep\n");
+        return 2;
+    }
+    return runMicrobench();
+}

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cmath>
 #include <fstream>
 #include <iomanip>
 #include <sstream>
+#include <stdexcept>
 
 #include "common/logging.hh"
 
@@ -100,7 +102,29 @@ class JsonParser
             ++pos_;
         if (start == pos_)
             qpad_fatal("arch json: expected number at offset ", pos_);
-        return std::stod(text_.substr(start, pos_ - start));
+        // Frequencies feed the cache fingerprint, so every accepted
+        // number must be a well-defined finite double: reject
+        // malformed tokens ("5..1"), half-parsed ones ("5.0e"),
+        // overflow to infinity ("1e999"), and NaN outright.
+        const std::string token = text_.substr(start, pos_ - start);
+        std::size_t used = 0;
+        double value = 0.0;
+        try {
+            value = std::stod(token, &used);
+        } catch (const std::invalid_argument &) {
+            qpad_fatal("arch json: malformed number '", token,
+                       "' at offset ", start);
+        } catch (const std::out_of_range &) {
+            qpad_fatal("arch json: number '", token,
+                       "' out of double range at offset ", start);
+        }
+        if (used != token.size())
+            qpad_fatal("arch json: trailing garbage in number '",
+                       token, "' at offset ", start);
+        if (!std::isfinite(value))
+            qpad_fatal("arch json: non-finite number '", token,
+                       "' at offset ", start);
+        return value;
     }
 
     bool

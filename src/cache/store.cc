@@ -1,0 +1,304 @@
+#include "cache/store.hh"
+
+#include <algorithm>
+#include <filesystem>
+
+#include "common/logging.hh"
+
+namespace qpad::cache
+{
+
+namespace
+{
+
+/** Log file name inside CacheOptions::dir. */
+constexpr const char *kLogName = "qpad_cache.qpc";
+
+/** 8-byte magic + format version; bump on any layout change. */
+constexpr char kMagic[8] = {'Q', 'P', 'A', 'D', 'C', 'A', 'C', '1'};
+constexpr uint32_t kFormatVersion = 1;
+
+/** Upper bound on one record's payload (corruption tripwire). */
+constexpr uint32_t kMaxRecordBytes = 1u << 28;
+
+/**
+ * Fixed per-entry accounting overhead (key, list/map nodes) added to
+ * the payload size when charging the LRU budget.
+ */
+constexpr std::size_t kEntryOverhead = 96;
+
+std::size_t
+entryBytes(const std::vector<uint8_t> &value)
+{
+    return value.size() + kEntryOverhead;
+}
+
+/** Checksum over (key, length, payload); detects torn/flipped tails. */
+uint64_t
+recordChecksum(const Fingerprint &key, uint32_t len,
+               const uint8_t *payload)
+{
+    Encoder enc;
+    enc.u64(key.hi);
+    enc.u64(key.lo);
+    enc.u32(len);
+    enc.raw(payload, len);
+    return enc.digest().lo;
+}
+
+} // namespace
+
+Store::Store(const CacheOptions &options)
+    : options_(options),
+      shards_(std::max<std::size_t>(options.shards, 1)),
+      shard_budget_(std::max<std::size_t>(
+          options.max_bytes / std::max<std::size_t>(options.shards, 1),
+          1))
+{
+    if (!options_.dir.empty())
+        openLog();
+}
+
+Store::~Store()
+{
+    if (log_)
+        std::fclose(log_);
+}
+
+Store::Shard &
+Store::shardFor(const Fingerprint &key)
+{
+    return shards_[key.hi % shards_.size()];
+}
+
+bool
+Store::get(const Fingerprint &key, std::vector<uint8_t> &value)
+{
+    Shard &shard = shardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.map.find(key);
+    if (it == shard.map.end()) {
+        misses_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+    }
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    value = it->second->value;
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+}
+
+void
+Store::putInMemory(const Fingerprint &key,
+                   const std::vector<uint8_t> &value)
+{
+    Shard &shard = shardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+        shard.bytes -= entryBytes(it->second->value);
+        it->second->value = value;
+        shard.bytes += entryBytes(value);
+        shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    } else {
+        shard.lru.push_front(Entry{key, value});
+        shard.map.emplace(key, shard.lru.begin());
+        shard.bytes += entryBytes(value);
+    }
+    // Evict from the cold end while over budget; the entry just
+    // touched is never evicted, so even an over-budget payload is
+    // served back at least until the next insertion.
+    while (shard.bytes > shard_budget_ && shard.lru.size() > 1) {
+        const Entry &victim = shard.lru.back();
+        shard.bytes -= entryBytes(victim.value);
+        shard.map.erase(victim.key);
+        shard.lru.pop_back();
+        evictions_.fetch_add(1, std::memory_order_relaxed);
+    }
+}
+
+void
+Store::put(const Fingerprint &key, const std::vector<uint8_t> &value)
+{
+    putInMemory(key, value);
+    inserts_.fetch_add(1, std::memory_order_relaxed);
+    appendRecord(key, value);
+}
+
+void
+Store::clear()
+{
+    for (Shard &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        shard.lru.clear();
+        shard.map.clear();
+        shard.bytes = 0;
+    }
+}
+
+StoreStats
+Store::stats() const
+{
+    StoreStats s;
+    s.hits = hits_.load(std::memory_order_relaxed);
+    s.misses = misses_.load(std::memory_order_relaxed);
+    s.inserts = inserts_.load(std::memory_order_relaxed);
+    s.evictions = evictions_.load(std::memory_order_relaxed);
+    s.disk_loaded = disk_loaded_;
+    s.disk_dropped = disk_dropped_;
+    for (const Shard &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        s.bytes += shard.bytes;
+        s.entries += shard.lru.size();
+    }
+    return s;
+}
+
+void
+Store::openLog()
+{
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    fs::create_directories(options_.dir, ec);
+    if (ec) {
+        qpad_warn("cache: cannot create directory '", options_.dir,
+                  "' (", ec.message(), "); persistence disabled");
+        return;
+    }
+    const std::string path =
+        (fs::path(options_.dir) / kLogName).string();
+
+    auto writeHeader = [&] {
+        Encoder enc;
+        enc.raw(reinterpret_cast<const uint8_t *>(kMagic), 8);
+        enc.u32(kFormatVersion);
+        enc.u32(0); // reserved
+        std::fwrite(enc.bytes().data(), 1, enc.bytes().size(), log_);
+        std::fflush(log_);
+    };
+    // Reopen truncated-to-empty and write a fresh header ("w+b"
+    // truncates; portable, unlike ftruncate on an open descriptor).
+    auto startFresh = [&] {
+        std::fclose(log_);
+        log_ = std::fopen(path.c_str(), "w+b");
+        if (!log_) {
+            qpad_warn("cache: cannot reset '", path,
+                      "'; persistence disabled");
+            return;
+        }
+        writeHeader();
+    };
+
+    log_ = std::fopen(path.c_str(), "r+b");
+    const bool existed = log_ != nullptr;
+    if (!existed)
+        log_ = std::fopen(path.c_str(), "w+b");
+    if (!log_) {
+        qpad_warn("cache: cannot open '", path,
+                  "'; persistence disabled");
+        return;
+    }
+    if (!existed) {
+        writeHeader();
+        return;
+    }
+
+    uint8_t header[16];
+    uint32_t version = 0;
+    Decoder header_in(header + 8, 8);
+    if (std::fread(header, 1, sizeof header, log_) != sizeof header ||
+        !std::equal(kMagic, kMagic + 8, header) ||
+        !header_in.u32(version) || version != kFormatVersion) {
+        qpad_warn("cache: '", path,
+                  "' has an unknown header; starting fresh");
+        startFresh();
+        return;
+    }
+
+    // Replay records until EOF or the first invalid one. A record
+    // that fails mid-read or checksum is the torn tail of a crashed
+    // append: truncate it away so the file is clean again.
+    long good_end = std::ftell(log_);
+    for (;;) {
+        const long record_start = std::ftell(log_);
+        uint8_t fixed[28]; // len u32 | hi u64 | lo u64 | checksum u64
+        const std::size_t got =
+            std::fread(fixed, 1, sizeof fixed, log_);
+        if (got == 0)
+            break; // clean EOF
+        bool ok = got == sizeof fixed;
+        uint32_t len = 0;
+        Fingerprint key;
+        uint64_t checksum = 0;
+        std::vector<uint8_t> payload;
+        if (ok) {
+            Decoder in(fixed, sizeof fixed);
+            ok = in.u32(len) && in.u64(key.hi) && in.u64(key.lo) &&
+                 in.u64(checksum) && len <= kMaxRecordBytes;
+        }
+        if (ok) {
+            payload.resize(len);
+            ok = std::fread(payload.data(), 1, len, log_) == len &&
+                 recordChecksum(key, len, payload.data()) == checksum;
+        }
+        if (!ok) {
+            qpad_warn("cache: '", path, "' has a torn/corrupt record",
+                      " at offset ", record_start,
+                      "; truncating the tail");
+            ++disk_dropped_;
+            // Truncate through the filesystem (not ftruncate, which
+            // is POSIX-only): close, resize, reopen at the end.
+            std::fclose(log_);
+            log_ = nullptr;
+            std::error_code trunc_ec;
+            fs::resize_file(path, std::uintmax_t(record_start),
+                            trunc_ec);
+            if (trunc_ec) {
+                qpad_warn("cache: truncation of '", path,
+                          "' failed (", trunc_ec.message(),
+                          "); persistence disabled");
+                return;
+            }
+            log_ = std::fopen(path.c_str(), "r+b");
+            if (!log_) {
+                qpad_warn("cache: cannot reopen '", path,
+                          "'; persistence disabled");
+                return;
+            }
+            std::fseek(log_, 0, SEEK_END);
+            return;
+        }
+        putInMemory(key, payload);
+        ++disk_loaded_;
+        good_end = std::ftell(log_);
+    }
+    std::fseek(log_, good_end, SEEK_SET);
+}
+
+void
+Store::appendRecord(const Fingerprint &key,
+                    const std::vector<uint8_t> &value)
+{
+    // log_ is checked and used under the same lock: a concurrent
+    // append failure may disable persistence at any time.
+    std::lock_guard<std::mutex> lock(log_mutex_);
+    if (!log_ || value.size() > kMaxRecordBytes)
+        return;
+    Encoder fixed;
+    fixed.u32(uint32_t(value.size()));
+    fixed.u64(key.hi);
+    fixed.u64(key.lo);
+    fixed.u64(recordChecksum(key, uint32_t(value.size()),
+                             value.data()));
+    if (std::fwrite(fixed.bytes().data(), 1, fixed.bytes().size(),
+                    log_) != fixed.bytes().size() ||
+        std::fwrite(value.data(), 1, value.size(), log_) !=
+            value.size()) {
+        qpad_warn("cache: append failed; persistence disabled");
+        std::fclose(log_);
+        log_ = nullptr;
+        return;
+    }
+    std::fflush(log_);
+}
+
+} // namespace qpad::cache

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Sharded in-memory result store with an LRU byte budget and an
+ * optional append-only on-disk log.
+ *
+ * Concurrency: keys are distributed over independently locked shards
+ * (mutex per shard), so concurrent lookups from the qpad::runtime
+ * thread pool contend only when they hash to the same shard. Disk
+ * appends serialize on their own mutex and never hold a shard lock.
+ *
+ * Persistence: when CacheOptions::dir is set, the store replays the
+ * log `<dir>/qpad_cache.qpc` on construction and appends one record
+ * per insertion. The file is a 16-byte header (magic + format
+ * version) followed by checksummed records; a torn or corrupted tail
+ * — the signature of a crash mid-append — is detected by the
+ * per-record checksum, truncated away with a warning, and never
+ * fatal. The log is append-only by design: in-memory eviction does
+ * not rewrite it, and a later record for the same key supersedes an
+ * earlier one on replay (compaction is a named follow-on in the
+ * ROADMAP, as is cross-process file locking — one writer per
+ * directory for now).
+ */
+
+#ifndef QPAD_CACHE_STORE_HH
+#define QPAD_CACHE_STORE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/fingerprint.hh"
+
+namespace qpad::cache
+{
+
+/** Store configuration. */
+struct CacheOptions
+{
+    /** Master switch consulted by the cached front ends. */
+    bool enabled = true;
+    /** In-memory LRU budget across all shards (bytes). */
+    std::size_t max_bytes = 64ull << 20;
+    /** Lock shards (rounded up to at least 1). */
+    std::size_t shards = 16;
+    /** Persistence directory; empty = memory only. */
+    std::string dir;
+};
+
+/** Counter snapshot; see Store::stats(). */
+struct StoreStats
+{
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t inserts = 0;
+    uint64_t evictions = 0;
+    /** Resident payload bytes / entries at snapshot time. */
+    uint64_t bytes = 0;
+    uint64_t entries = 0;
+    /** Records replayed / rejected from the on-disk log on open. */
+    uint64_t disk_loaded = 0;
+    uint64_t disk_dropped = 0;
+};
+
+/** Content-addressed blob store (thread-safe). */
+class Store
+{
+  public:
+    explicit Store(const CacheOptions &options = {});
+    ~Store();
+
+    Store(const Store &) = delete;
+    Store &operator=(const Store &) = delete;
+
+    const CacheOptions &options() const { return options_; }
+
+    /**
+     * Look up `key`; on a hit copies the payload into `value`,
+     * refreshes its LRU position, and returns true.
+     */
+    bool get(const Fingerprint &key, std::vector<uint8_t> &value);
+
+    /**
+     * Insert (or overwrite) `key`. Evicts least-recently-used
+     * entries of the same shard while over budget, then appends the
+     * record to the on-disk log if persistence is enabled.
+     */
+    void put(const Fingerprint &key, const std::vector<uint8_t> &value);
+
+    /** Drop every in-memory entry (the disk log is left alone). */
+    void clear();
+
+    StoreStats stats() const;
+
+  private:
+    struct Entry
+    {
+        Fingerprint key;
+        std::vector<uint8_t> value;
+    };
+    using Lru = std::list<Entry>;
+
+    struct Shard
+    {
+        mutable std::mutex mutex;
+        Lru lru; ///< front = most recently used
+        std::unordered_map<Fingerprint, Lru::iterator, FingerprintHash>
+            map;
+        std::size_t bytes = 0;
+    };
+
+    Shard &shardFor(const Fingerprint &key);
+    /** Insert into memory only (shared by put() and log replay). */
+    void putInMemory(const Fingerprint &key,
+                     const std::vector<uint8_t> &value);
+
+    void openLog();
+    void appendRecord(const Fingerprint &key,
+                      const std::vector<uint8_t> &value);
+
+    CacheOptions options_;
+    std::vector<Shard> shards_;
+    std::size_t shard_budget_;
+
+    std::atomic<uint64_t> hits_{0};
+    std::atomic<uint64_t> misses_{0};
+    std::atomic<uint64_t> inserts_{0};
+    std::atomic<uint64_t> evictions_{0};
+    uint64_t disk_loaded_ = 0;  ///< written once, in the constructor
+    uint64_t disk_dropped_ = 0; ///< ditto
+
+    std::mutex log_mutex_;
+    std::FILE *log_ = nullptr;
+};
+
+} // namespace qpad::cache
+
+#endif // QPAD_CACHE_STORE_HH

@@ -4,6 +4,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "cache/yield_cache.hh"
 #include "common/logging.hh"
 #include "runtime/seed_seq.hh"
 
@@ -166,6 +167,70 @@ annealChain(const profile::CouplingProfile &profile,
     return result;
 }
 
+/**
+ * Cache key of one annealing chain: everything annealChain reads —
+ * the strength matrix (the only profile field the cost functional
+ * uses), the start placement, the schedule, and the chain's own
+ * seed. Keying per chain (not per annealLayout call) lets a rerun
+ * with more restarts reuse every chain it already ran.
+ */
+cache::Fingerprint
+chainKey(const profile::CouplingProfile &profile,
+         const LayoutResult &start, const AnnealOptions &options,
+         uint64_t seed)
+{
+    cache::Encoder enc;
+    enc.str("qpad.anneal.chain/v1");
+    enc.u64(profile.num_qubits);
+    for (std::size_t i = 0; i < profile.num_qubits; ++i)
+        for (std::size_t j = i; j < profile.num_qubits; ++j)
+            enc.u32(profile.strength(i, j));
+    for (const Coord &c : start.coord_of_logical) {
+        enc.i32(c.row);
+        enc.i32(c.col);
+    }
+    enc.u64(options.iterations);
+    enc.f64(options.t_start);
+    enc.f64(options.t_end);
+    enc.u64(seed);
+    return enc.digest();
+}
+
+std::vector<uint8_t>
+encodeChain(const ChainResult &chain)
+{
+    cache::Encoder enc;
+    enc.u64(chain.best.size());
+    for (const Coord &c : chain.best) {
+        enc.i32(c.row);
+        enc.i32(c.col);
+    }
+    enc.i64(chain.best_cost);
+    enc.u64(chain.accepted_moves);
+    return enc.bytes();
+}
+
+bool
+decodeChain(const std::vector<uint8_t> &blob, std::size_t num_qubits,
+            ChainResult &chain)
+{
+    cache::Decoder in(blob);
+    uint64_t n;
+    if (!in.u64(n) || n != num_qubits)
+        return false;
+    chain.best.resize(num_qubits);
+    for (Coord &c : chain.best)
+        if (!in.i32(c.row) || !in.i32(c.col))
+            return false;
+    int64_t cost;
+    uint64_t accepted;
+    if (!in.i64(cost) || !in.u64(accepted) || !in.atEnd())
+        return false;
+    chain.best_cost = cost;
+    chain.accepted_moves = std::size_t(accepted);
+    return true;
+}
+
 } // namespace
 
 AnnealResult
@@ -182,12 +247,29 @@ annealLayout(const profile::CouplingProfile &profile,
     // the classic annealer regardless of options.exec.
     const runtime::SeedSequence seeds(options.seed);
     std::vector<ChainResult> chains(options.restarts);
+    cache::Store &store = cache::globalStore();
+    const bool use_cache = store.options().enabled;
     runtime::parallel_for(
         options.exec, options.restarts, 1,
         [&](std::size_t begin, std::size_t end, std::size_t) {
             for (std::size_t i = begin; i < end; ++i) {
                 const uint64_t seed =
                     i == 0 ? options.seed : seeds.childSeed(i);
+                // Each restart chain is memoized on its own key, so
+                // a warm rerun — or one with a higher restart count
+                // — replays finished chains from the cache.
+                std::vector<uint8_t> blob;
+                if (use_cache) {
+                    const cache::Fingerprint key =
+                        chainKey(profile, start, options, seed);
+                    if (store.get(key, blob) &&
+                        decodeChain(blob, n, chains[i]))
+                        continue;
+                    chains[i] =
+                        annealChain(profile, start, options, seed);
+                    store.put(key, encodeChain(chains[i]));
+                    continue;
+                }
                 chains[i] = annealChain(profile, start, options, seed);
             }
         });

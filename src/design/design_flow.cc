@@ -1,6 +1,7 @@
 #include "design/design_flow.hh"
 
 #include "arch/ibm.hh"
+#include "cache/yield_cache.hh"
 #include "common/logging.hh"
 
 namespace qpad::design
@@ -51,9 +52,13 @@ designArchitecture(const profile::CouplingProfile &profile,
     // Subroutine 3: frequency allocation (Algorithm 3 or 5-freq).
     switch (options.freq_scheme) {
       case FreqScheme::Optimized:
+        // Algorithm 3's candidate scan dominates the flow's cost and
+        // is a pure function of (topology, options): route it through
+        // the result cache so repeated designs (sweeps, re-runs with
+        // a warm on-disk cache) skip the Monte Carlo entirely.
         outcome.freq =
-            allocateFrequencies(outcome.architecture,
-                                options.freq_options);
+            cache::cachedAllocateFrequencies(outcome.architecture,
+                                             options.freq_options);
         outcome.architecture.setAllFrequencies(outcome.freq.freqs);
         break;
       case FreqScheme::FiveFrequency:

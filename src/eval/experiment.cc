@@ -4,6 +4,7 @@
 #include <functional>
 
 #include "arch/ibm.hh"
+#include "cache/yield_cache.hh"
 #include "common/logging.hh"
 #include "profile/coupling.hh"
 
@@ -57,13 +58,16 @@ measure(const std::string &config, const Architecture &arch,
     point.gate_count = mapped.total_gates;
     point.swaps = mapped.swaps;
 
+    // Every estimate goes through the result cache — including each
+    // adaptive-escalation step, whose (arch, trials) pair is its own
+    // key, so a 2M-trial retry found once is never recomputed.
     yield::YieldOptions yopts = options.yield_options;
-    yield::YieldResult yr = yield::estimateYield(arch, yopts);
+    yield::YieldResult yr = cache::cachedEstimateYield(arch, yopts);
     while (options.adaptive_yield_trials && yr.successes == 0 &&
            yopts.trials < options.max_yield_trials) {
         yopts.trials = std::min(options.max_yield_trials,
                                 yopts.trials * 10);
-        yr = yield::estimateYield(arch, yopts);
+        yr = cache::cachedEstimateYield(arch, yopts);
     }
     point.yield = yr.yield;
     point.yield_trials = yr.trials;
@@ -176,6 +180,8 @@ runBenchmark(const benchmarks::BenchmarkInfo &info,
         }
     }
 
+    const cache::StoreStats before = cache::globalCacheStats();
+
     experiment.points.resize(jobs.size());
     runtime::parallel_for(
         options.exec, jobs.size(), 1,
@@ -183,6 +189,16 @@ runBenchmark(const benchmarks::BenchmarkInfo &info,
             for (std::size_t i = begin; i < end; ++i)
                 experiment.points[i] = jobs[i]();
         });
+
+    // Surface this run's cache activity in the report (counters are
+    // deltas; bytes/entries the store's residency afterwards).
+    cache::StoreStats after = cache::globalCacheStats();
+    experiment.cache_stats = after;
+    experiment.cache_stats.hits = after.hits - before.hits;
+    experiment.cache_stats.misses = after.misses - before.misses;
+    experiment.cache_stats.inserts = after.inserts - before.inserts;
+    experiment.cache_stats.evictions =
+        after.evictions - before.evictions;
 
     normalize(experiment);
     return experiment;

@@ -13,6 +13,7 @@
 
 #include "arch/architecture.hh"
 #include "benchmarks/suite.hh"
+#include "cache/store.hh"
 #include "design/design_flow.hh"
 #include "mapping/sabre.hh"
 #include "runtime/parallel.hh"
@@ -79,6 +80,16 @@ struct BenchmarkExperiment
     std::size_t logical_qubits = 0;
     std::size_t original_gates = 0;
     std::vector<DataPoint> points;
+
+    /**
+     * Result-cache activity attributable to this run: hit / miss /
+     * insert / eviction counters are the delta over the run, bytes
+     * and entries the global store's residency when it finished.
+     * All zero when the cache is disabled. Purely informational —
+     * the DataPoints themselves are bit-identical with and without
+     * the cache.
+     */
+    cache::StoreStats cache_stats{};
 
     /** Points of one configuration, in insertion order. */
     std::vector<const DataPoint *>

@@ -70,6 +70,16 @@ printExperiment(std::ostream &out, const BenchmarkExperiment &experiment)
             << formatFixed(p.norm_recip_gates) << std::setw(11)
             << yieldCell(p) << "\n";
     }
+    const auto &cs = experiment.cache_stats;
+    if (cs.hits + cs.misses > 0) {
+        const double rate = 100.0 * double(cs.hits) /
+                            double(cs.hits + cs.misses);
+        out << "  cache: " << cs.hits << " hits / " << cs.misses
+            << " misses (" << formatFixed(rate, 1) << "% hit rate), "
+            << cs.inserts << " inserts, " << cs.evictions
+            << " evictions, " << cs.bytes << " bytes in "
+            << cs.entries << " entries\n";
+    }
 }
 
 void

@@ -191,6 +191,40 @@ TEST(Serialize, RejectsMalformedInput)
         std::runtime_error); // non-dense ids
 }
 
+TEST(Serialize, RejectsNonFiniteAndGarbageNumbers)
+{
+    // Frequencies feed the cache fingerprint: every accepted number
+    // must be a well-defined finite double.
+    auto arch_json = [](const std::string &freqs) {
+        return R"({"name":"x","qubits":[{"id":0,"row":0,"col":0}],
+                   "four_qubit_buses":[],"frequencies_ghz":[)" +
+               freqs + "]}";
+    };
+    // Overflow to +/-infinity.
+    EXPECT_THROW(arch::fromJson(arch_json("1e999")),
+                 std::runtime_error);
+    EXPECT_THROW(arch::fromJson(arch_json("-1e999")),
+                 std::runtime_error);
+    // NaN / inf literals are not numbers in this schema.
+    EXPECT_THROW(arch::fromJson(arch_json("nan")), std::runtime_error);
+    EXPECT_THROW(arch::fromJson(arch_json("inf")), std::runtime_error);
+    // Trailing garbage drawn from the numeric character set.
+    EXPECT_THROW(arch::fromJson(arch_json("5.0.1")),
+                 std::runtime_error);
+    EXPECT_THROW(arch::fromJson(arch_json("5.0e")),
+                 std::runtime_error);
+    EXPECT_THROW(arch::fromJson(arch_json("--5")), std::runtime_error);
+    // The error names the offending token and its offset.
+    try {
+        arch::fromJson(arch_json("1e999"));
+        FAIL() << "expected fromJson to reject 1e999";
+    } catch (const std::runtime_error &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("1e999"), std::string::npos) << what;
+        EXPECT_NE(what.find("offset"), std::string::npos) << what;
+    }
+}
+
 TEST(Serialize, RejectsConstraintViolations)
 {
     // Two buses on adjacent squares violate the prohibited condition
