@@ -20,6 +20,7 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 
 #include "eval/experiment.hh"
 
@@ -67,10 +68,15 @@ execOptions()
     errno = 0;
     char *end = nullptr;
     const unsigned long long v = std::strtoull(threads, &end, 10);
-    constexpr unsigned long long kMaxThreads = 4096;
-    if (errno == ERANGE || *end != '\0' || v > kMaxThreads)
-        dieOnEnv("QPAD_THREADS", threads,
-                 "expected a thread count of at most 4096");
+    // The runtime's own ceiling: a value that passes here must never
+    // panic inside resolveThreads, and the diagnostic quotes the
+    // same constant the check uses.
+    if (errno == ERANGE || *end != '\0' || v > runtime::kMaxThreads) {
+        const std::string expected =
+            "expected a thread count of at most " +
+            std::to_string(runtime::kMaxThreads);
+        dieOnEnv("QPAD_THREADS", threads, expected.c_str());
+    }
     exec.num_threads = std::size_t(v);
     return exec;
 }

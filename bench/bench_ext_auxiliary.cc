@@ -10,6 +10,7 @@
 
 #include "bench_common.hh"
 #include "benchmarks/suite.hh"
+#include "cache/yield_cache.hh"
 #include "design/auxiliary.hh"
 #include "design/design_flow.hh"
 #include "eval/report.hh"
@@ -50,7 +51,8 @@ main()
             design::applyOptimizedFrequencies(chip, fopts);
 
             auto mapped = mapping::mapCircuit(circ, chip);
-            auto y = yield::estimateYield(chip, base.yield_options);
+            auto y =
+                cache::cachedEstimateYield(chip, base.yield_options);
 
             std::cout << "  " << name;
             for (std::size_t pad = std::string(name).size(); pad < 16;

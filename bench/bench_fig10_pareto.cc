@@ -10,12 +10,26 @@
  * to a vertical line (Section 5.3.1); qft_16's bus selection behaves
  * like random selection (Section 5.4.2).
  *
- * Set QPAD_FIG10_CSV=1 to additionally emit machine-readable CSV.
+ * Set QPAD_FIG10_CSV=1 to additionally emit machine-readable CSV,
+ * or QPAD_FIG10_CSV=only for CSV alone (no report text — the CSV is
+ * then byte-identical between cold and warm cache passes, which the
+ * CI two-pass job cmp-checks; the report would differ in its cache-
+ * statistics line). QPAD_FIG10_SUITE=<substring>[,<substring>...]
+ * restricts the sweep to matching benchmark names. --expect-warm
+ * exits nonzero unless the sweep was FULLY warm: at least one
+ * result-cache hit and zero misses. (Hits alone would not prove a
+ * warm cache — a multi-benchmark sweep re-evaluates the ibm
+ * baselines with identical keys and hits its own intra-run inserts;
+ * a cold run necessarily misses its first lookups, so the zero-miss
+ * requirement is what ties the gate to pre-populated state.)
  */
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
+#include <string>
 
 #include "bench_common.hh"
 #include "benchmarks/suite.hh"
@@ -24,27 +38,75 @@
 
 using namespace qpad;
 
-int
-main()
+namespace
 {
+
+/** Does `name` match the QPAD_FIG10_SUITE filter (empty = all)? */
+bool
+suiteSelected(const std::string &name)
+{
+    const char *filter = std::getenv("QPAD_FIG10_SUITE");
+    if (!filter || !*filter)
+        return true;
+    std::string list(filter);
+    for (std::size_t pos = 0; pos < list.size();) {
+        std::size_t comma = list.find(',', pos);
+        if (comma == std::string::npos)
+            comma = list.size();
+        const std::string item = list.substr(pos, comma - pos);
+        if (!item.empty() && name.find(item) != std::string::npos)
+            return true;
+        pos = comma + 1;
+    }
+    return false;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool expect_warm = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--expect-warm") == 0) {
+            expect_warm = true;
+        } else {
+            std::fprintf(stderr, "usage: %s [--expect-warm]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
     auto options = bench::paperOptions();
-    const bool csv = std::getenv("QPAD_FIG10_CSV") != nullptr;
+    const char *csv_env = std::getenv("QPAD_FIG10_CSV");
+    const bool csv = csv_env != nullptr;
+    const bool csv_only = csv && std::strcmp(csv_env, "only") == 0;
 
-    eval::printHeader(std::cout,
-                      "Figure 10: yield vs normalized 1/gate-count, "
-                      "five configurations");
-    std::cout << "yield trials = " << options.yield_options.trials
-              << ", sigma = "
-              << options.yield_options.sigma_ghz * 1000 << " MHz\n\n";
+    if (!csv_only) {
+        eval::printHeader(std::cout,
+                          "Figure 10: yield vs normalized "
+                          "1/gate-count, five configurations");
+        std::cout << "yield trials = " << options.yield_options.trials
+                  << ", sigma = "
+                  << options.yield_options.sigma_ghz * 1000
+                  << " MHz\n\n";
+    }
 
+    std::size_t cache_hits = 0, cache_misses = 0;
     bool csv_header = true;
     for (const auto &info : benchmarks::paperSuite()) {
+        if (!suiteSelected(info.name))
+            continue;
         auto experiment = eval::runBenchmark(info, options);
-        eval::printExperiment(std::cout, experiment);
+        cache_hits += experiment.cache_stats.hits;
+        cache_misses += experiment.cache_stats.misses;
+        if (!csv_only)
+            eval::printExperiment(std::cout, experiment);
         if (csv) {
             eval::printExperimentCsv(std::cout, experiment, csv_header);
             csv_header = false;
         }
+        if (csv_only)
+            continue;
 
         // Per-benchmark headline, matching Section 5.3: the most
         // simplified eff design against ibm(1), and the richest eff
@@ -86,6 +148,13 @@ main()
                       << "\n";
         }
         std::cout << "\n";
+    }
+    if (expect_warm && (cache_hits == 0 || cache_misses != 0)) {
+        std::cerr << "--expect-warm: run was not fully warm ("
+                  << cache_hits << " hits, " << cache_misses
+                  << " misses; is QPAD_CACHE_DIR set and "
+                     "populated?)\n";
+        return 3;
     }
     return 0;
 }

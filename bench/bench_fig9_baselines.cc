@@ -3,20 +3,41 @@
  * Experiment E4 (paper Figure 9): IBM's four general-purpose
  * baseline designs — layouts, 5-frequency tilings, bus placements —
  * and their simulated yields.
+ *
+ * Yield estimates go through cache::cachedEstimateYield, so with
+ * QPAD_CACHE_DIR set a repeated run is served warm and byte-
+ * identical. --expect-warm exits nonzero unless the run was FULLY
+ * warm — at least one hit and zero misses (a cold run necessarily
+ * misses its first lookups, so intra-run reuse can never satisfy
+ * this); it never changes stdout, so pass outputs stay comparable
+ * with cmp. Used by the CI two-pass persistence check.
  */
 
+#include <cstdio>
+#include <cstring>
 #include <iostream>
 
 #include "arch/ibm.hh"
 #include "bench_common.hh"
+#include "cache/yield_cache.hh"
 #include "eval/report.hh"
 #include "yield/yield_sim.hh"
 
 using namespace qpad;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bool expect_warm = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--expect-warm") == 0) {
+            expect_warm = true;
+        } else {
+            std::fprintf(stderr, "usage: %s [--expect-warm]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
     eval::printHeader(std::cout, "Figure 9: IBM baseline designs");
     auto yopts = bench::paperOptions().yield_options;
 
@@ -42,7 +63,7 @@ main()
             }
             std::cout << "\n";
         }
-        auto r = yield::estimateYield(arch, yopts);
+        auto r = cache::cachedEstimateYield(arch, yopts);
         std::cout << "simulated yield (sigma = "
                   << yopts.sigma_ghz * 1000 << " MHz, " << yopts.trials
                   << " trials): " << eval::formatYield(r.yield)
@@ -52,5 +73,15 @@ main()
     std::cout << "Expected shape: yield drops monotonically with "
               << "connection count\n(16q-2qbus > 16q-4qbus, "
               << "20q-2qbus > 20q-4qbus).\n";
+    if (expect_warm) {
+        const cache::StoreStats stats = cache::globalCacheStats();
+        if (stats.hits == 0 || stats.misses != 0) {
+            std::cerr << "--expect-warm: run was not fully warm ("
+                      << stats.hits << " hits, " << stats.misses
+                      << " misses; is QPAD_CACHE_DIR set and "
+                         "populated?)\n";
+            return 3;
+        }
+    }
     return 0;
 }

@@ -113,12 +113,21 @@ class Rng
      */
     static void expandState(uint64_t seed, uint64_t (&state)[4]);
 
+    /**
+     * One SplitMix64 step: advance `state` and return the mixed
+     * output. The single definition of the generator the seeding
+     * scheme builds on, exposed for callers that need a tiny
+     * standalone deterministic stream (scheduler victim
+     * randomization, bench busywork) without duplicating the
+     * constants.
+     */
+    static uint64_t splitMix64(uint64_t &state);
+
   private:
     uint64_t s_[4];
     double cached_gauss_;
     bool has_cached_gauss_;
 
-    static uint64_t splitMix64(uint64_t &state);
     static uint64_t rotl(uint64_t x, int k);
 };
 

@@ -249,8 +249,14 @@ annealLayout(const profile::CouplingProfile &profile,
     std::vector<ChainResult> chains(options.restarts);
     cache::Store &store = cache::globalStore();
     const bool use_cache = store.options().enabled;
+    // Guided sizing (grain 0): cache hits make finished chains ~free
+    // while cold chains cost the full iteration budget, so restart
+    // costs are heavily skewed on warm reruns; guided chunks plus
+    // stealing keep the runners busy either way. Chain i's seed
+    // depends only on i, never on the chunk index, so chunk identity
+    // is free to follow the guided sequence.
     runtime::parallel_for(
-        options.exec, options.restarts, 1,
+        options.exec, options.restarts, 0,
         [&](std::size_t begin, std::size_t end, std::size_t) {
             for (std::size_t i = begin; i < end; ++i) {
                 const uint64_t seed =

@@ -250,11 +250,19 @@ allocateFrequencies(const Architecture &arch,
         // substituted with the candidate value at read time (scalar)
         // or written into the scratch block's lanes (batched)
         // instead of being stored in the shared table.
-        // One chunk per worker: the batched branch streams the CRN
-        // block table once per chunk, so single-candidate chunks
-        // would re-copy it per candidate. Scores depend only on the
-        // read-only table, so the chunking (unlike the table
-        // generation above) is free to vary with the thread count.
+        // One fixed chunk per worker: the batched branch streams the
+        // CRN block table once per chunk, so finer chunks — and in
+        // particular guided sizing (grain 0), whose tail degenerates
+        // to single-candidate chunks — would re-stream the table per
+        // candidate. Candidate costs are uniform (same table, same
+        // term lists), so there is no skew for guided to fix. Note
+        // the trade-off this grain accepts: with exactly one chunk
+        // per runner nothing is stealable after the initial deal, so
+        // if candidate costs ever became non-uniform this site would
+        // need a finer grain before the work-stealing runners could
+        // rebalance it. Scores depend only on the read-only table,
+        // so the chunking (unlike the table generation above) is
+        // free to vary with the thread count.
         const std::size_t workers =
             runtime::resolveThreads(options.exec);
         const std::size_t grain =

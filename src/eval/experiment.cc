@@ -183,8 +183,14 @@ runBenchmark(const benchmarks::BenchmarkInfo &info,
     const cache::StoreStats before = cache::globalCacheStats();
 
     experiment.points.resize(jobs.size());
+    // Guided sizing (grain 0): adaptive yield escalation makes some
+    // data points ~100x dearer than others, so fixed chunks would
+    // park a worker on whichever chunk drew the expensive points.
+    // Guided chunks shrink toward the tail and the work-stealing
+    // runners rebalance the rest; safe here because each job derives
+    // its seeds from the options alone, never from the chunk index.
     runtime::parallel_for(
-        options.exec, jobs.size(), 1,
+        options.exec, jobs.size(), 0,
         [&](std::size_t begin, std::size_t end, std::size_t) {
             for (std::size_t i = begin; i < end; ++i)
                 experiment.points[i] = jobs[i]();

@@ -2,12 +2,18 @@
 
 #include <thread>
 
+#include "common/logging.hh"
+
 namespace qpad::runtime
 {
 
 std::size_t
 resolveThreads(const Options &options)
 {
+    qpad_assert(options.num_threads <= kMaxThreads,
+                "Options::num_threads = ", options.num_threads,
+                " exceeds the ", kMaxThreads,
+                "-thread ceiling (malformed configuration?)");
     if (options.num_threads != 0)
         return options.num_threads;
     const unsigned hw = std::thread::hardware_concurrency();

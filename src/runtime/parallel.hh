@@ -1,44 +1,73 @@
 /**
  * @file
- * Deterministic chunked-range parallelism.
+ * Deterministic chunked-range parallelism on a work-stealing
+ * scheduler.
  *
  * parallel_for / parallel_reduce split the index range [0, n) into
- * fixed-size chunks of `grain` indices. The chunking depends only on
- * (n, grain) — NEVER on the thread count — and reductions combine
- * partial results in ascending chunk order, so any stochastic
- * workload that derives its randomness from the chunk index (via
- * runtime::SeedSequence) produces bit-identical results whether it
- * runs on 1 thread or N. Threads only decide who executes a chunk,
- * not what the chunk computes.
+ * chunks whose *identity* — the boundaries — is a pure function of
+ * (n, grain) and NEVER of the thread count, and reductions combine
+ * partial results in ascending chunk order. Any stochastic workload
+ * that derives its randomness from the chunk index (via
+ * runtime::SeedSequence) therefore produces bit-identical results
+ * whether it runs on 1 thread or N. Threads only decide who executes
+ * a chunk, not what the chunk computes.
  *
- * Scheduling: chunks are handed out through an atomic counter to the
- * calling thread plus workers borrowed from ThreadPool::global().
- * The caller always participates, and while waiting for its helpers
- * it drains other queued pool tasks (ThreadPool::tryRunOne) instead
- * of blocking. Nested parallel regions therefore cannot deadlock:
- * any thread stuck waiting keeps executing whatever work is queued
- * — including the helpers it is waiting for — so a saturated pool
- * degrades toward sequential execution, never toward a cycle of
- * blocked workers.
+ * Grain modes:
+ *   grain > 0  — fixed: chunk c covers [c*grain, min((c+1)*grain, n)).
+ *                Use when per-index cost is uniform, when chunk
+ *                bodies are sized around the grain (e.g. the yield
+ *                Monte Carlo's SoA lane blocks), and ALWAYS when the
+ *                chunk index seeds an RNG stream: guided chunking
+ *                changes chunk identity, so it would change the
+ *                draws.
+ *   grain == 0 — guided: the scheduler picks a decreasing chunk-size
+ *                sequence (ceil(remaining/8) per step: large blocks
+ *                first, single indices at the tail), a pure function
+ *                of n alone. Use for skewed per-index costs — e.g.
+ *                data points under adaptive yield escalation, where
+ *                one index can be ~100x dearer than its neighbour —
+ *                so stragglers end in fine-grained chunks that
+ *                spread across workers instead of pinning one.
+ *
+ * Scheduling (see runtime/region.hh and runtime/chunk_deque.hh):
+ * chunks are dealt into per-runner Chase–Lev deques; each runner
+ * drains its own deque and then steals from randomly-ordered
+ * victims, so a runner that finishes early takes load off whoever is
+ * stuck with expensive chunks. The caller always participates as
+ * runner 0, helpers are borrowed from ThreadPool::global(), and the
+ * caller's completion wait is a condition-variable handshake — no
+ * sleep-polling anywhere. Nested parallel regions cannot deadlock:
+ * a region's completion never depends on a helper starting, because
+ * the caller can steal every chunk itself; a saturated pool degrades
+ * toward sequential execution, never toward a cycle of blocked
+ * workers.
+ *
+ * Per-region scheduler statistics (steals, chunks per runner, max
+ * idle time) are reported through Options::stats.
  */
 
 #ifndef QPAD_RUNTIME_PARALLEL_HH
 #define QPAD_RUNTIME_PARALLEL_HH
 
 #include <algorithm>
-#include <atomic>
-#include <chrono>
 #include <cstddef>
-#include <exception>
-#include <future>
-#include <mutex>
 #include <utility>
 #include <vector>
 
+#include "runtime/region.hh"
 #include "runtime/thread_pool.hh"
 
 namespace qpad::runtime
 {
+
+/**
+ * Ceiling on Options::num_threads: anything larger is a corrupted
+ * or misparsed configuration, not a plausible machine. The bench
+ * drivers' QPAD_THREADS validation (bench_common.hh) rejects
+ * against this same constant, so an env value that passes there can
+ * never panic here.
+ */
+constexpr std::size_t kMaxThreads = 4096;
 
 /** Execution configuration carried by subsystem option structs. */
 struct Options
@@ -46,135 +75,130 @@ struct Options
     /**
      * Worker threads for parallel regions: 0 = one per hardware
      * thread, 1 = legacy sequential execution (no pool involved),
-     * N = at most N concurrent chunk runners.
+     * N = at most N concurrent chunk runners (N > hardware is
+     * honoured up to one runner per pool worker plus the caller).
+     * Values above kMaxThreads are rejected.
      */
     std::size_t num_threads = 0;
+
+    /**
+     * Optional per-region statistics sink. Each completed region
+     * overwrites the whole struct, so point at most one live region
+     * at a given RegionStats at a time (nested regions run
+     * concurrently — give them their own sink or none).
+     */
+    RegionStats *stats = nullptr;
 };
 
-/** Resolve Options::num_threads (0 -> hardware concurrency). */
+/** Resolve Options::num_threads (0 -> hardware concurrency);
+ * rejects counts above kMaxThreads. */
 std::size_t resolveThreads(const Options &options);
 
 namespace detail
 {
 
-/** Number of `grain`-sized chunks covering [0, n). */
+/** Runner count for a region: the resolved thread request, capped
+ * at one runner per chunk and one per pool worker plus the caller.
+ * Touches the global pool only when actually going parallel. */
 inline std::size_t
-numChunks(std::size_t n, std::size_t grain)
+clampRunners(std::size_t threads, std::size_t chunks)
 {
-    return grain == 0 ? 0 : (n + grain - 1) / grain;
+    threads = std::min(threads, chunks);
+    if (threads <= 1)
+        return 1;
+    return std::min(threads, ThreadPool::global().size() + 1);
 }
 
-/**
- * Run `run_chunk(chunk_index)` for every chunk in [0, chunks) on
- * `threads` concurrent runners (calling thread included). The first
- * exception thrown by any chunk is rethrown in the caller after all
- * runners finish; remaining chunks are skipped once a chunk failed.
- */
-template <typename RunChunk>
-void
-runChunks(std::size_t chunks, std::size_t threads, RunChunk &&run_chunk)
+/** Fill the stats sink for a sequentially-executed region. */
+inline void
+sequentialStats(RegionStats *stats, std::size_t chunks)
 {
-    if (chunks == 0)
+    if (!stats)
         return;
-    if (threads > chunks)
-        threads = chunks;
-    if (threads <= 1) {
-        for (std::size_t c = 0; c < chunks; ++c)
-            run_chunk(c);
-        return;
-    }
-
-    std::atomic<std::size_t> next{0};
-    std::atomic<bool> failed{false};
-    std::mutex error_mutex;
-    std::exception_ptr error;
-
-    auto runner = [&] {
-        for (;;) {
-            std::size_t c = next.fetch_add(1);
-            if (c >= chunks || failed.load(std::memory_order_relaxed))
-                return;
-            try {
-                run_chunk(c);
-            } catch (...) {
-                std::lock_guard<std::mutex> lock(error_mutex);
-                if (!error)
-                    error = std::current_exception();
-                failed.store(true, std::memory_order_relaxed);
-            }
-        }
-    };
-
-    std::vector<std::future<void>> helpers;
-    helpers.reserve(threads - 1);
-    for (std::size_t i = 0; i + 1 < threads; ++i)
-        helpers.push_back(ThreadPool::global().submit(runner));
-    runner(); // the caller works too; never blocks on a full pool
-    for (auto &h : helpers) {
-        // Helping wait: run queued pool tasks (possibly the very
-        // helpers we are waiting for) until this future resolves.
-        while (h.wait_for(std::chrono::seconds(0)) !=
-               std::future_status::ready) {
-            if (!ThreadPool::global().tryRunOne())
-                h.wait_for(std::chrono::milliseconds(1));
-        }
-        h.get();
-    }
-    if (error)
-        std::rethrow_exception(error);
+    stats->threads = 1;
+    stats->chunks = chunks;
+    stats->steals = 0;
+    stats->max_idle_seconds = 0.0;
+    stats->chunks_per_runner.assign(1, chunks);
 }
 
 } // namespace detail
 
 /**
  * Apply `body(begin, end, chunk_index)` to every chunk of [0, n).
- * Chunk boundaries depend only on (n, grain); see the file comment
- * for the determinism contract.
+ * Chunk boundaries depend only on (n, grain) — grain = 0 selects
+ * guided sizing; see the file comment for the determinism contract
+ * and for when each grain mode is appropriate.
  */
 template <typename Body>
 void
 parallel_for(const Options &options, std::size_t n, std::size_t grain,
              Body &&body)
 {
-    if (n == 0)
+    if (n == 0) {
+        detail::sequentialStats(options.stats, 0);
         return;
-    if (grain == 0)
-        grain = 1;
-    const std::size_t chunks = detail::numChunks(n, grain);
-    detail::runChunks(chunks, resolveThreads(options),
-                      [&](std::size_t c) {
-                          const std::size_t begin = c * grain;
-                          const std::size_t end =
-                              std::min(begin + grain, n);
+    }
+    const detail::ChunkPlan plan(n, grain);
+    const std::size_t chunks = plan.chunks();
+    const std::size_t threads =
+        detail::clampRunners(resolveThreads(options), chunks);
+    if (threads <= 1) {
+        // Stats filled before the loop so a throwing chunk leaves
+        // them populated, mirroring the parallel path (which
+        // collects stats before rethrowing and counts failure-
+        // skipped chunks as claimed — the reported chunk count is
+        // the full region either way).
+        detail::sequentialStats(options.stats, chunks);
+        for (std::size_t c = 0; c < chunks; ++c) {
+            const auto [begin, end] = plan.bounds(c);
+            body(begin, end, c);
+        }
+        return;
+    }
+    detail::runRegion(chunks, threads, plan.guided(),
+                      [&plan, &body](std::size_t c) {
+                          const auto [begin, end] = plan.bounds(c);
                           body(begin, end, c);
-                      });
+                      },
+                      options.stats);
 }
 
 /**
  * Map-reduce over [0, n): `map(begin, end, chunk_index)` produces one
  * partial result per chunk, folded left-to-right in chunk order with
  * `combine(accumulator, partial)`. The fold order is fixed, so the
- * result is independent of the thread count even for non-commutative
- * or floating-point combines.
+ * result is independent of the thread count — and of who stole which
+ * chunk — even for non-commutative or floating-point combines.
  */
 template <typename T, typename Map, typename Combine>
 T
 parallel_reduce(const Options &options, std::size_t n, std::size_t grain,
                 T identity, Map &&map, Combine &&combine)
 {
-    if (n == 0)
+    if (n == 0) {
+        detail::sequentialStats(options.stats, 0);
         return identity;
-    if (grain == 0)
-        grain = 1;
-    const std::size_t chunks = detail::numChunks(n, grain);
+    }
+    const detail::ChunkPlan plan(n, grain);
+    const std::size_t chunks = plan.chunks();
     std::vector<T> partials(chunks, identity);
-    detail::runChunks(chunks, resolveThreads(options),
-                      [&](std::size_t c) {
-                          const std::size_t begin = c * grain;
-                          const std::size_t end =
-                              std::min(begin + grain, n);
-                          partials[c] = map(begin, end, c);
-                      });
+    const std::size_t threads =
+        detail::clampRunners(resolveThreads(options), chunks);
+    if (threads <= 1) {
+        detail::sequentialStats(options.stats, chunks);
+        for (std::size_t c = 0; c < chunks; ++c) {
+            const auto [begin, end] = plan.bounds(c);
+            partials[c] = map(begin, end, c);
+        }
+    } else {
+        detail::runRegion(chunks, threads, plan.guided(),
+                          [&plan, &map, &partials](std::size_t c) {
+                              const auto [begin, end] = plan.bounds(c);
+                              partials[c] = map(begin, end, c);
+                          },
+                          options.stats);
+    }
     T result = std::move(identity);
     for (std::size_t c = 0; c < chunks; ++c)
         result = combine(std::move(result), partials[c]);

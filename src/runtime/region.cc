@@ -1,0 +1,239 @@
+#include "runtime/region.hh"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "runtime/thread_pool.hh"
+
+namespace qpad::runtime::detail
+{
+
+namespace
+{
+
+using clock = std::chrono::steady_clock;
+
+double
+secondsSince(clock::time_point t0)
+{
+    return std::chrono::duration<double>(clock::now() - t0).count();
+}
+
+} // namespace
+
+RegionState::RegionState(std::size_t runners, std::size_t chunks,
+                         std::function<void(std::size_t)> run_chunk)
+    : run_chunk_(std::move(run_chunk)), runners_(runners),
+      pending_(chunks), claimed_(runners)
+{
+    qpad_assert(runners >= 1, "region needs at least one runner");
+    deques_.reserve(runners);
+    for (std::size_t i = 0; i < runners; ++i)
+        deques_.push_back(std::make_unique<ChunkDeque>());
+}
+
+void
+RegionState::loadDeque(std::size_t id, std::vector<std::size_t> items)
+{
+    deques_[id]->reset(std::move(items));
+}
+
+void
+RegionState::helperEntry()
+{
+    const std::size_t id =
+        next_runner_.fetch_add(1, std::memory_order_relaxed);
+    if (id >= runners_)
+        return; // every runner slot already claimed
+    runAs(id);
+}
+
+void
+RegionState::runAs(std::size_t id)
+{
+    uint64_t rng_state = 0x2545f4914f6cdd1dull * (id + 1);
+    uint64_t idle_ns = 0;
+    for (;;) {
+        std::size_t c = deques_[id]->take();
+        if (c == ChunkDeque::kEmpty) {
+            const auto idle_begin = clock::now();
+            c = stealLoop(id, rng_state);
+            idle_ns += uint64_t(secondsSince(idle_begin) * 1e9);
+            if (c == ChunkDeque::kEmpty)
+                break; // no unclaimed chunk anywhere
+            steals_.fetch_add(1, std::memory_order_relaxed);
+        }
+        // After a failure the remaining chunks are claimed but
+        // skipped, so pending_ still drains and waiters wake.
+        if (!failed_.load(std::memory_order_relaxed)) {
+            try {
+                run_chunk_(c);
+            } catch (...) {
+                recordError();
+            }
+        }
+        claimed_[id].fetch_add(1, std::memory_order_relaxed);
+        finishChunk();
+    }
+    if (idle_ns > 0)
+        recordIdle(double(idle_ns) * 1e-9);
+}
+
+std::size_t
+RegionState::stealLoop(std::size_t self, uint64_t &rng_state)
+{
+    for (;;) {
+        bool contended = false;
+        // Victim-order randomization only; which runner steals which
+        // chunk never affects results.
+        const std::size_t offset =
+            Rng::splitMix64(rng_state) % runners_;
+        for (std::size_t k = 0; k < runners_; ++k) {
+            const std::size_t victim = (offset + k) % runners_;
+            if (victim == self)
+                continue;
+            const std::size_t c = deques_[victim]->steal();
+            if (c == ChunkDeque::kAbort) {
+                contended = true; // another thief won; re-sweep
+                continue;
+            }
+            if (c != ChunkDeque::kEmpty)
+                return c;
+        }
+        if (!contended)
+            return ChunkDeque::kEmpty;
+        // Every abort means some other runner claimed a chunk, so
+        // re-sweeping makes global progress and terminates.
+    }
+}
+
+void
+RegionState::finishChunk()
+{
+    if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> lock(done_mutex_);
+        done_cv_.notify_all();
+    }
+}
+
+void
+RegionState::waitDone()
+{
+    std::unique_lock<std::mutex> lock(done_mutex_);
+    done_cv_.wait(lock, [this] {
+        return pending_.load(std::memory_order_acquire) == 0;
+    });
+}
+
+void
+RegionState::recordIdle(double seconds)
+{
+    const uint64_t ns = uint64_t(seconds * 1e9);
+    uint64_t seen = max_idle_ns_.load(std::memory_order_relaxed);
+    while (seen < ns &&
+           !max_idle_ns_.compare_exchange_weak(
+               seen, ns, std::memory_order_relaxed))
+        ;
+}
+
+void
+RegionState::recordError()
+{
+    {
+        std::lock_guard<std::mutex> lock(error_mutex_);
+        if (!error_)
+            error_ = std::current_exception();
+    }
+    failed_.store(true, std::memory_order_relaxed);
+}
+
+void
+RegionState::collectStats(RegionStats &out) const
+{
+    out.threads = runners_;
+    out.chunks = 0;
+    out.steals = steals_.load(std::memory_order_relaxed);
+    out.max_idle_seconds =
+        double(max_idle_ns_.load(std::memory_order_relaxed)) * 1e-9;
+    out.chunks_per_runner.assign(runners_, 0);
+    for (std::size_t i = 0; i < runners_; ++i) {
+        out.chunks_per_runner[i] =
+            claimed_[i].load(std::memory_order_relaxed);
+        out.chunks += out.chunks_per_runner[i];
+    }
+}
+
+void
+RegionState::rethrowIfFailed()
+{
+    // MOVE the exception out rather than copying it: the region can
+    // outlive this call on a late-starting pool worker (shared_ptr
+    // lifetime, see region.hh), and if the region still held a
+    // reference, that worker would perform the final release of the
+    // exception object the caller's catch block is reading.
+    std::exception_ptr error;
+    {
+        std::lock_guard<std::mutex> lock(error_mutex_);
+        std::swap(error, error_);
+    }
+    if (error)
+        std::rethrow_exception(error);
+}
+
+void
+runRegion(std::size_t chunks, std::size_t threads, bool guided,
+          std::function<void(std::size_t)> run_chunk,
+          RegionStats *stats)
+{
+    qpad_assert(threads >= 2 && threads <= chunks,
+                "runRegion caller must pre-clamp the runner count");
+    auto region = std::make_shared<RegionState>(threads, chunks,
+                                                std::move(run_chunk));
+
+    // Initial deal. Guided: strided, so every runner starts with a
+    // mix of large (early) and small (late) chunks and the expensive
+    // head blocks begin on distinct runners immediately. Fixed:
+    // contiguous ranges, so a runner walks adjacent chunks (cache-
+    // and prefetch-friendly for block-sized Monte Carlo bodies).
+    // Each list is stored reversed: ChunkDeque owners pop from the
+    // back, and the owner should run its chunks in ascending order.
+    std::vector<std::vector<std::size_t>> lists(threads);
+    if (guided) {
+        for (std::size_t c = 0; c < chunks; ++c)
+            lists[c % threads].push_back(c);
+    } else {
+        const std::size_t base = chunks / threads;
+        const std::size_t extra = chunks % threads;
+        std::size_t next = 0;
+        for (std::size_t r = 0; r < threads; ++r) {
+            const std::size_t count = base + (r < extra ? 1 : 0);
+            for (std::size_t k = 0; k < count; ++k)
+                lists[r].push_back(next++);
+        }
+    }
+    for (std::size_t r = 0; r < threads; ++r) {
+        std::vector<std::size_t> &list = lists[r];
+        std::reverse(list.begin(), list.end());
+        region->loadDeque(r, std::move(list));
+    }
+
+    // Offer helper slots to the pool (never to the calling worker
+    // itself) and work the region as runner 0. If the pool is
+    // saturated — e.g. a nested region on a busy machine — the
+    // helpers simply start late or never, and the caller steals the
+    // whole range itself: graceful degradation to sequential
+    // execution instead of a blocked cycle.
+    ThreadPool::global().dispatchRegion(region, threads - 1);
+    region->runAs(0);
+    const auto wait_begin = std::chrono::steady_clock::now();
+    region->waitDone();
+    region->recordIdle(secondsSince(wait_begin));
+
+    if (stats)
+        region->collectStats(*stats);
+    region->rethrowIfFailed();
+}
+
+} // namespace qpad::runtime::detail

@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Parallel-region execution state for the work-stealing scheduler.
+ *
+ * One RegionState is the shared heart of one parallel_for /
+ * parallel_reduce call: the type-erased chunk body, one ChunkDeque
+ * per runner, the outstanding-chunk counter the caller's completion
+ * wait hangs off, first-error-wins exception capture, and the
+ * scheduler counters surfaced through RegionStats.
+ *
+ * Lifetime: regions are heap-allocated and shared_ptr-owned by the
+ * caller *and* by every helper task queued on the ThreadPool. The
+ * caller returns as soon as every chunk has finished executing
+ * (pending == 0) — helpers that the pool only gets around to
+ * starting later find the deques drained, touch nothing but the
+ * region's own atomics, and retire. That is what makes the engine
+ * deadlock-free without the old sleep-polling "helping wait": the
+ * caller always participates as runner 0 and can steal every chunk
+ * itself, so completion never depends on a helper actually starting.
+ */
+
+#ifndef QPAD_RUNTIME_REGION_HH
+#define QPAD_RUNTIME_REGION_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "runtime/chunk_deque.hh"
+
+namespace qpad::runtime
+{
+
+/**
+ * Per-region scheduler statistics, filled into Options::stats when
+ * the region completes. Point at most one live region at a stats
+ * object at a time: each region overwrites the whole struct, and
+ * nested regions run concurrently.
+ */
+struct RegionStats
+{
+    /**
+     * Runner slots the region allocated (caller included). A slot
+     * whose helper offer was never picked up — e.g. on a saturated
+     * pool, where the caller steals the whole range — shows zero in
+     * chunks_per_runner; count the nonzero entries for the runners
+     * that actually executed work.
+     */
+    std::size_t threads = 0;
+    /** Chunks the range was split into. */
+    std::size_t chunks = 0;
+    /** Chunks claimed by a runner other than their deque's owner. */
+    std::size_t steals = 0;
+    /**
+     * Worst per-runner time spent hunting for work or waiting for
+     * stragglers, in seconds. Best-effort: a helper still retiring
+     * when the caller collects the stats (possible — the caller
+     * does not wait for helpers, only for chunks) reports its idle
+     * time too late to be counted.
+     */
+    double max_idle_seconds = 0.0;
+    /** Chunks processed by each runner (index 0 = the caller). */
+    std::vector<std::size_t> chunks_per_runner;
+};
+
+namespace detail
+{
+
+/**
+ * Guided chunk-size divisor: guided chunk c covers
+ * ceil(remaining / kGuidedDivisor) indices of what is left, so sizes
+ * decay geometrically from n/8 toward single indices at the tail.
+ * Fixed (never derived from the thread count) so guided boundaries
+ * stay a pure function of n alone.
+ */
+constexpr std::size_t kGuidedDivisor = 8;
+
+/**
+ * Chunk identity for one region: boundaries as a pure function of
+ * (n, grain). grain > 0 produces fixed grain-sized chunks; grain = 0
+ * produces the guided decreasing-size sequence (large blocks first,
+ * shrinking toward the tail) for skewed per-index costs.
+ */
+class ChunkPlan
+{
+  public:
+    ChunkPlan(std::size_t n, std::size_t grain) : n_(n), grain_(grain)
+    {
+        if (grain_ != 0)
+            return;
+        offsets_.push_back(0);
+        std::size_t remaining = n_;
+        while (remaining > 0) {
+            const std::size_t step =
+                (remaining + kGuidedDivisor - 1) / kGuidedDivisor;
+            offsets_.push_back(offsets_.back() + step);
+            remaining -= step;
+        }
+    }
+
+    bool guided() const { return grain_ == 0; }
+
+    std::size_t chunks() const
+    {
+        return guided() ? offsets_.size() - 1
+                        : (n_ + grain_ - 1) / grain_;
+    }
+
+    /** [begin, end) of chunk c. */
+    std::pair<std::size_t, std::size_t> bounds(std::size_t c) const
+    {
+        if (guided())
+            return {offsets_[c], offsets_[c + 1]};
+        const std::size_t begin = c * grain_;
+        return {begin, std::min(begin + grain_, n_)};
+    }
+
+  private:
+    std::size_t n_;
+    std::size_t grain_;
+    std::vector<std::size_t> offsets_; // guided boundaries, chunks+1
+};
+
+/** Shared state of one in-flight parallel region. */
+class RegionState
+{
+  public:
+    RegionState(std::size_t runners, std::size_t chunks,
+                std::function<void(std::size_t)> run_chunk);
+
+    /** Runner count (deques); runner 0 is the caller. */
+    std::size_t runners() const { return runners_; }
+
+    /** Preload runner `id`'s deque (before dispatch only). */
+    void loadDeque(std::size_t id, std::vector<std::size_t> items);
+
+    /**
+     * Pool-worker entry point: claim the next helper runner id and
+     * work the region. Ids beyond runners() mean every runner slot
+     * is claimed already (the pool queued more helper tasks than the
+     * region ended up needing); such late arrivals retire at once.
+     */
+    void helperEntry();
+
+    /** Run as runner `id`: drain the own deque, then steal until the
+     * region is globally out of unclaimed chunks. */
+    void runAs(std::size_t id);
+
+    /** Block (condition variable, no polling) until every chunk has
+     * finished executing. */
+    void waitDone();
+
+    /** Fold `seconds` into the max-idle statistic. */
+    void recordIdle(double seconds);
+
+    /**
+     * Copy the scheduler counters out (call after waitDone). Chunk
+     * counts are exact — every chunk has finished by then — but a
+     * helper still retiring may add its idle time after the copy
+     * (see RegionStats::max_idle_seconds).
+     */
+    void collectStats(RegionStats &out) const;
+
+    /** Rethrow the first captured chunk exception, if any. */
+    void rethrowIfFailed();
+
+  private:
+    /** Randomized sweep over the other deques; kEmpty only when no
+     * unclaimed chunk exists anywhere. */
+    std::size_t stealLoop(std::size_t self, uint64_t &rng_state);
+
+    /** Chunk done (or skipped after a failure): decrement pending
+     * and wake the caller on the last one. */
+    void finishChunk();
+
+    void recordError();
+
+    std::function<void(std::size_t)> run_chunk_;
+    std::vector<std::unique_ptr<ChunkDeque>> deques_;
+    std::size_t runners_;
+
+    std::atomic<std::size_t> pending_;
+    std::atomic<std::size_t> next_runner_{1};
+    std::atomic<bool> failed_{false};
+
+    std::mutex error_mutex_;
+    std::exception_ptr error_;
+
+    std::mutex done_mutex_;
+    std::condition_variable done_cv_;
+
+    // Scheduler statistics (relaxed counters; read after waitDone).
+    std::atomic<std::size_t> steals_{0};
+    std::atomic<std::uint64_t> max_idle_ns_{0};
+    std::vector<std::atomic<std::size_t>> claimed_;
+};
+
+/**
+ * Execute `run_chunk(c)` for every c in [0, chunks) on `threads`
+ * work-stealing runners (calling thread included). `guided` selects
+ * the initial chunk-to-runner deal (strided for guided sizing so
+ * every runner starts with a mix of sizes, contiguous otherwise for
+ * locality). The first exception thrown by any chunk is rethrown in
+ * the caller after every chunk has finished or been skipped.
+ */
+void runRegion(std::size_t chunks, std::size_t threads, bool guided,
+               std::function<void(std::size_t)> run_chunk,
+               RegionStats *stats);
+
+} // namespace detail
+
+} // namespace qpad::runtime
+
+#endif // QPAD_RUNTIME_REGION_HH

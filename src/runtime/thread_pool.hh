@@ -1,22 +1,34 @@
 /**
  * @file
- * Fixed-size worker pool behind qpad's parallel primitives.
+ * Worker pool behind qpad's parallel primitives: per-worker task
+ * slots with condition-variable wakeups and pool-level stealing.
  *
- * The pool is deliberately simple: a FIFO of type-erased tasks and N
- * workers that drain it. Determinism is NOT the pool's job — tasks
- * may run in any order on any worker — it is provided one level up
- * by parallel_for/parallel_reduce, which assign work to fixed chunk
- * indices and merge results in chunk order (see runtime/parallel.hh).
+ * Each worker owns a slot — a mutex, a condition variable, and a
+ * small queue — instead of the single shared FIFO the pool started
+ * with: a submission wakes exactly the worker it targets (preferring
+ * an idle one), so nothing contends on a global lock and nothing
+ * sleep-polls. A worker that drains its own slot steals the oldest
+ * item from a sibling's slot before sleeping, so a backlog behind a
+ * busy worker cannot idle the rest of the pool.
+ *
+ * The pool schedules two kinds of items: type-erased one-shot tasks
+ * (submit(), observed through a future) and parallel-region helper
+ * offers (dispatchRegion(), see runtime/region.hh). Determinism is
+ * NOT the pool's job — items run in any order on any worker — it is
+ * provided one level up by parallel_for/parallel_reduce, which fix
+ * chunk identity and merge order (see runtime/parallel.hh).
  */
 
 #ifndef QPAD_RUNTIME_THREAD_POOL_HH
 #define QPAD_RUNTIME_THREAD_POOL_HH
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -24,36 +36,46 @@
 namespace qpad::runtime
 {
 
-/** Fixed-size thread pool with a shared task queue. */
+namespace detail
+{
+class RegionState;
+}
+
+/** Fixed-size thread pool with per-worker task slots. */
 class ThreadPool
 {
   public:
     /** Spawn `num_threads` workers (>= 1). */
     explicit ThreadPool(std::size_t num_threads);
 
-    /** Drains nothing: pending tasks are completed before exit. */
+    /** Pending tasks are completed before exit (each worker drains
+     * its own slot once stopping is signalled). */
     ~ThreadPool();
 
     ThreadPool(const ThreadPool &) = delete;
     ThreadPool &operator=(const ThreadPool &) = delete;
 
     /** Number of worker threads. */
-    std::size_t size() const { return workers_.size(); }
+    std::size_t size() const { return threads_.size(); }
 
     /**
-     * Enqueue a task. The returned future observes completion and
-     * rethrows any exception the task raised.
+     * Enqueue a one-shot task on an idle worker's slot (round-robin
+     * when all are busy) and wake that worker. The returned future
+     * observes completion and rethrows any exception the task
+     * raised.
      */
     std::future<void> submit(std::function<void()> task);
 
     /**
-     * Pop and run one queued task on the calling thread; false if
-     * the queue was empty. Lets a thread that is waiting for its
-     * own submissions make progress instead of blocking — the
-     * ingredient that keeps nested parallel regions deadlock-free
-     * (see runtime/parallel.hh).
+     * Offer up to `helpers` helper slots of a parallel region to the
+     * workers (one queue item each, skipping the calling worker if
+     * the caller is itself a pool worker — it is already runner 0 of
+     * the region). Returns immediately; a worker that picks an offer
+     * up late, after the region's caller already finished the range,
+     * retires harmlessly (see runtime/region.hh lifetime notes).
      */
-    bool tryRunOne();
+    void dispatchRegion(std::shared_ptr<detail::RegionState> region,
+                        std::size_t helpers);
 
     /**
      * Process-wide shared pool, lazily created with
@@ -65,13 +87,45 @@ class ThreadPool
     static ThreadPool &global();
 
   private:
-    void workerLoop();
+    /** One queued work item: exactly one of the two is set. */
+    struct Item
+    {
+        std::packaged_task<void()> task;
+        std::shared_ptr<detail::RegionState> region;
+    };
 
-    std::vector<std::thread> workers_;
-    std::deque<std::packaged_task<void()>> queue_;
-    std::mutex mutex_;
-    std::condition_variable cv_;
-    bool stopping_ = false;
+    /** Per-worker task slot. */
+    struct Slot
+    {
+        std::mutex mutex;
+        std::condition_variable cv;
+        std::deque<Item> queue;
+        /** Executing an item right now. Heuristic only (read without
+         * the mutex for target preference); never used for
+         * correctness decisions. */
+        std::atomic<bool> busy{false};
+        /** Worker is blocked in its CV wait. Guarded by `mutex`, so
+         * enqueueOn's sleeper scan cannot race the wait entry/exit
+         * (unlike `busy`, which flips outside the lock). */
+        bool sleeping = false;
+    };
+
+    void workerLoop(std::size_t worker);
+    bool popOwn(std::size_t worker, Item &out);
+    bool stealOther(std::size_t worker, Item &out);
+    static void runItem(Item &item);
+
+    /** Push to `worker`'s slot and wake it. */
+    void enqueueOn(std::size_t worker, Item item);
+
+    std::vector<std::thread> threads_;
+    std::vector<std::unique_ptr<Slot>> slots_;
+    std::atomic<bool> stopping_{false};
+    std::atomic<std::size_t> round_robin_{0};
+    /** Items queued (any slot) and not yet popped: lets an idle
+     * worker's wait predicate see stealable work behind a busy
+     * sibling instead of sleeping through it. */
+    std::atomic<std::size_t> queued_{0};
 };
 
 } // namespace qpad::runtime

@@ -18,7 +18,13 @@ namespace
 /**
  * Trials per RNG stream. Fixed (never derived from the thread
  * count) so the shard layout — and therefore every random draw —
- * is a pure function of (seed, trials).
+ * is a pure function of (seed, trials). This MUST stay a fixed
+ * grain, never guided (grain 0): the chunk index is the RNG shard,
+ * so guided sizing would re-chunk the range and change every draw.
+ * Trials are uniform-cost anyway — load balance comes from the
+ * work-stealing runners, not from chunk sizing — and the fixed
+ * 1024-trial blocks keep the SoA lane kernels (batched collision
+ * checker, GaussianBlockSampler) walking whole 8-lane blocks.
  */
 constexpr std::size_t kShardTrials = 1024;
 

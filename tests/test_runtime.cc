@@ -9,7 +9,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <mutex>
 #include <numeric>
+#include <set>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -196,6 +199,305 @@ TEST(ParallelReduce, CombinesInChunkOrder)
     EXPECT_EQ(run(1), expect);
     EXPECT_EQ(run(4), expect);
     EXPECT_EQ(run(13), expect);
+}
+
+// --------------------------------------------------------------------
+// Guided scheduling (grain = 0)
+// --------------------------------------------------------------------
+
+TEST(GuidedScheduling, CoversEveryIndexExactlyOnce)
+{
+    for (std::size_t threads : {1u, 2u, 5u}) {
+        const std::size_t n = 1000;
+        std::vector<std::atomic<int>> hits(n);
+        runtime::parallel_for(
+            Options{threads}, n, 0,
+            [&](std::size_t begin, std::size_t end, std::size_t) {
+                for (std::size_t i = begin; i < end; ++i)
+                    ++hits[i];
+            });
+        for (std::size_t i = 0; i < n; ++i)
+            ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+    }
+}
+
+TEST(GuidedScheduling, BoundariesAreAPureFunctionOfN)
+{
+    // grain = 0 means guided: chunk boundaries must depend on n
+    // alone — never on the thread count — and form a contiguous
+    // non-increasing size sequence starting at ceil(n / 8).
+    const std::size_t n = 1237;
+    auto boundaries = [&](std::size_t threads) {
+        std::mutex m;
+        std::vector<std::pair<std::size_t, std::size_t>> ranges;
+        runtime::parallel_for(
+            Options{threads}, n, 0,
+            [&](std::size_t begin, std::size_t end, std::size_t c) {
+                std::lock_guard<std::mutex> lock(m);
+                if (ranges.size() <= c)
+                    ranges.resize(c + 1);
+                ranges[c] = {begin, end};
+            });
+        return ranges;
+    };
+    const auto seq = boundaries(1);
+    ASSERT_FALSE(seq.empty());
+    EXPECT_EQ(seq.front().first, 0u);
+    EXPECT_EQ(seq.front().second, (n + 7) / 8);
+    EXPECT_EQ(seq.back().second, n);
+    for (std::size_t c = 1; c < seq.size(); ++c) {
+        EXPECT_EQ(seq[c].first, seq[c - 1].second) << c;
+        EXPECT_LE(seq[c].second - seq[c].first,
+                  seq[c - 1].second - seq[c - 1].first)
+            << c;
+    }
+    EXPECT_EQ(seq.back().second - seq.back().first, 1u);
+    for (std::size_t threads : {2u, 4u, 16u})
+        EXPECT_EQ(boundaries(threads), seq) << threads;
+}
+
+TEST(GuidedScheduling, ReduceCombinesInChunkOrder)
+{
+    // Non-commutative combine under guided sizing: the decreasing
+    // chunk sizes and the stealing runners must not disturb the
+    // ascending fold.
+    auto run = [](std::size_t threads) {
+        return runtime::parallel_reduce(
+            Options{threads}, 26, 0, std::string{},
+            [](std::size_t begin, std::size_t end, std::size_t) {
+                std::string s;
+                for (std::size_t i = begin; i < end; ++i)
+                    s += char('a' + i);
+                return s;
+            },
+            [](std::string acc, const std::string &x) {
+                return acc + x;
+            });
+    };
+    const std::string expect = "abcdefghijklmnopqrstuvwxyz";
+    EXPECT_EQ(run(1), expect);
+    EXPECT_EQ(run(4), expect);
+    EXPECT_EQ(run(13), expect);
+}
+
+TEST(GuidedScheduling, PropagatesTaskException)
+{
+    for (std::size_t threads : {1u, 4u}) {
+        EXPECT_THROW(
+            runtime::parallel_for(
+                Options{threads}, 100, 0,
+                [](std::size_t begin, std::size_t, std::size_t) {
+                    if (begin >= 30)
+                        throw std::runtime_error("guided chunk failed");
+                }),
+            std::runtime_error);
+    }
+}
+
+// --------------------------------------------------------------------
+// Thread-count validation and oversubscription
+// --------------------------------------------------------------------
+
+TEST(ThreadOptions, OversubscribedCountsMatchSequential)
+{
+    // num_threads far beyond the hardware must still cover the range
+    // exactly once and reduce identically (runner count is clamped
+    // to the pool, not rejected).
+    const std::size_t n = 5000;
+    const uint64_t expect = uint64_t(n) * (n - 1) / 2;
+    for (std::size_t threads :
+         {std::size_t(64), runtime::kMaxThreads}) {
+        for (std::size_t grain : {std::size_t(7), std::size_t(0)}) {
+            uint64_t sum = runtime::parallel_reduce(
+                Options{threads}, n, grain, uint64_t{0},
+                [](std::size_t begin, std::size_t end, std::size_t) {
+                    uint64_t s = 0;
+                    for (std::size_t i = begin; i < end; ++i)
+                        s += i;
+                    return s;
+                },
+                [](uint64_t a, uint64_t b) { return a + b; });
+            EXPECT_EQ(sum, expect) << threads << "/" << grain;
+        }
+    }
+}
+
+TEST(ThreadOptions, RejectsCountsAboveCeiling)
+{
+    // Consistent with the bench drivers' QPAD_THREADS validation:
+    // a count above kMaxThreads is a malformed configuration, not a
+    // machine description, and must be rejected loudly.
+    EXPECT_NO_THROW(
+        runtime::resolveThreads(Options{runtime::kMaxThreads}));
+    try {
+        runtime::resolveThreads(Options{runtime::kMaxThreads + 1});
+        FAIL() << "expected the thread ceiling to be enforced";
+    } catch (const std::logic_error &e) {
+        EXPECT_NE(std::string(e.what()).find("ceiling"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+// --------------------------------------------------------------------
+// Exceptions under stealing
+// --------------------------------------------------------------------
+
+TEST(StealingExceptions, NestedRegionExceptionReachesOuterCaller)
+{
+    // A chunk of an outer multi-thread region opens an inner region
+    // whose chunks throw: the inner region must rethrow in the outer
+    // chunk, and the outer region must hand exactly that exception
+    // (message intact) to the outermost caller — under stealing and
+    // with oversubscribed runner counts.
+    try {
+        runtime::parallel_for(
+            Options{8}, 8, 1,
+            [&](std::size_t, std::size_t, std::size_t) {
+                runtime::parallel_for(
+                    Options{8}, 64, 0,
+                    [&](std::size_t begin, std::size_t, std::size_t) {
+                        if (begin >= 32)
+                            throw std::runtime_error("inner boom");
+                    });
+            });
+        FAIL() << "expected the nested exception to propagate";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "inner boom");
+    }
+}
+
+TEST(StealingExceptions, FirstErrorWinsIsOneOfTheThrown)
+{
+    // Several chunks throw distinct exceptions; exactly one may
+    // surface, and it must be one of the thrown ones — never a
+    // mangled or default-constructed error.
+    const std::set<std::string> thrown = {"err-10", "err-20",
+                                          "err-30"};
+    try {
+        runtime::parallel_for(
+            Options{4}, 40, 1,
+            [&](std::size_t begin, std::size_t, std::size_t) {
+                if (begin == 10 || begin == 20 || begin == 30)
+                    throw std::runtime_error(
+                        "err-" + std::to_string(begin));
+            });
+        FAIL() << "expected an exception";
+    } catch (const std::runtime_error &e) {
+        EXPECT_TRUE(thrown.count(e.what())) << e.what();
+    }
+}
+
+// --------------------------------------------------------------------
+// Wakeup latency (regression for the old 1 ms sleep-poll wait)
+// --------------------------------------------------------------------
+
+namespace
+{
+
+// GCC defines __SANITIZE_*__; Clang reports via __has_feature.
+// Folded into a project-local macro — defining the reserved
+// double-underscore names ourselves would be undefined behavior.
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+#define QPAD_SANITIZED 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+#define QPAD_SANITIZED 1
+#endif
+#endif
+
+/** Sanitizer builds run 10-20x slower; scale the latency budgets. */
+constexpr int
+timingSlack()
+{
+#if defined(QPAD_SANITIZED)
+    return 20;
+#else
+    return 4; // headroom for loaded CI machines
+#endif
+}
+
+} // namespace
+
+TEST(WakeupLatency, SmallRegionsCompleteWithoutMillisecondStalls)
+{
+    // The old helping wait polled helper futures with a 1 ms sleep,
+    // so a run of tiny two-runner regions accumulated millisecond-
+    // scale stalls. The condition-variable handshake must keep a
+    // region's completion in the microsecond range.
+    const int regions = 300;
+    std::atomic<std::size_t> sum{0};
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int r = 0; r < regions; ++r) {
+        runtime::parallel_for(
+            Options{2}, 2, 1,
+            [&](std::size_t begin, std::size_t, std::size_t) {
+                sum += begin;
+            });
+    }
+    const double elapsed =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    EXPECT_EQ(sum.load(), std::size_t(regions));
+    // 1 ms-scale stalls would put this at >= regions * 1e-3 seconds.
+    EXPECT_LT(elapsed, 0.5e-3 * regions * timingSlack());
+}
+
+TEST(WakeupLatency, SingleSubmittedTaskCompletesPromptly)
+{
+    ThreadPool pool(2);
+    const int tasks = 100;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < tasks; ++i)
+        pool.submit([] {}).get();
+    const double elapsed =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    EXPECT_LT(elapsed, 0.5e-3 * tasks * timingSlack());
+}
+
+// --------------------------------------------------------------------
+// RegionStats
+// --------------------------------------------------------------------
+
+TEST(RegionStats, CountsChunksAndRunners)
+{
+    runtime::RegionStats stats;
+    runtime::parallel_for(
+        Options{4, &stats}, 1000, 10,
+        [](std::size_t, std::size_t, std::size_t) {});
+    EXPECT_EQ(stats.chunks, 100u);
+    EXPECT_GE(stats.threads, 1u);
+    EXPECT_LE(stats.threads, 4u);
+    EXPECT_EQ(stats.chunks_per_runner.size(), stats.threads);
+    std::size_t total = 0;
+    for (std::size_t c : stats.chunks_per_runner)
+        total += c;
+    EXPECT_EQ(total, 100u);
+    EXPECT_LE(stats.steals, 100u);
+    EXPECT_GE(stats.max_idle_seconds, 0.0);
+}
+
+TEST(RegionStats, SequentialRegionReportsOneRunner)
+{
+    runtime::RegionStats stats;
+    uint64_t sum = runtime::parallel_reduce(
+        Options{1, &stats}, 100, 0, uint64_t{0},
+        [](std::size_t begin, std::size_t end, std::size_t) {
+            uint64_t s = 0;
+            for (std::size_t i = begin; i < end; ++i)
+                s += i;
+            return s;
+        },
+        [](uint64_t a, uint64_t b) { return a + b; });
+    EXPECT_EQ(sum, 4950u);
+    EXPECT_EQ(stats.threads, 1u);
+    EXPECT_GT(stats.chunks, 0u);
+    EXPECT_EQ(stats.steals, 0u);
+    ASSERT_EQ(stats.chunks_per_runner.size(), 1u);
+    EXPECT_EQ(stats.chunks_per_runner[0], stats.chunks);
 }
 
 // --------------------------------------------------------------------
