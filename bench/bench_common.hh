@@ -11,6 +11,12 @@
  * values (negative counts, trailing garbage, out-of-range numbers,
  * QPAD_FAST flags other than 0/1) abort with a message instead of
  * being silently coerced into a surprising configuration.
+ *
+ * Observability (handled by qpad::obs, no bench code involved):
+ * QPAD_TRACE=<path> writes a Chrome trace-event JSON profile of the
+ * run at exit, QPAD_METRICS=stderr|<path> dumps the process metrics
+ * registry at exit. Neither affects any computed result — outputs
+ * are bit-identical with the variables set or unset.
  */
 
 #ifndef QPAD_BENCH_BENCH_COMMON_HH
@@ -23,9 +29,36 @@
 #include <string>
 
 #include "eval/experiment.hh"
+#include "obs/metrics.hh"
 
 namespace qpad::bench
 {
+
+/**
+ * Scheduler series moved by one timed call, read back as metrics-
+ * registry deltas so benches print the very series QPAD_METRICS
+ * exports. Valid when the call ran exactly one parallel region:
+ * then the idle-histogram sum delta is that region's single
+ * max-idle observation.
+ */
+struct RegionDelta
+{
+    std::size_t chunks = 0;
+    std::size_t steals = 0;
+    double max_idle_seconds = 0.0;
+};
+
+inline RegionDelta
+regionDelta(const obs::Snapshot &before)
+{
+    const obs::Snapshot d = obs::deltaSince(before);
+    RegionDelta out;
+    out.chunks = std::size_t(obs::valueOf(d, "runtime.chunks"));
+    out.steals = std::size_t(obs::valueOf(d, "runtime.steals"));
+    out.max_idle_seconds =
+        obs::valueOf(d, "runtime.region_idle_seconds");
+    return out;
+}
 
 [[noreturn]] inline void
 dieOnEnv(const char *name, const char *value, const char *expected)

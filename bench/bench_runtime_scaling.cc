@@ -5,8 +5,9 @@
  * Default (uniform) mode: wall-clock speedup of the sharded Monte
  * Carlo yield estimator as the thread count grows, on the paper's
  * 10k-trial workload (ibm-16q with 4-qubit buses, sigma = 30 MHz),
- * with per-region scheduler statistics (steals, chunks per runner,
- * max idle). Verifies on the fly that the tallies are bit-identical
+ * with scheduler statistics (steals, max idle) read back from the
+ * qpad::obs metrics registry — the same series QPAD_METRICS exports.
+ * Verifies on the fly that the tallies are bit-identical
  * at every thread count — the determinism contract of
  * runtime::SeedSequence.
  *
@@ -37,6 +38,7 @@
 #include "bench_common.hh"
 #include "common/rng.hh"
 #include "eval/report.hh"
+#include "obs/metrics.hh"
 #include "runtime/parallel.hh"
 #include "yield/yield_sim.hh"
 
@@ -106,23 +108,23 @@ runUniform()
                 t1, 1.0, reference.successes, "-", "-");
 
     for (std::size_t threads : {2u, 4u, 8u}) {
-        runtime::RegionStats stats, best_stats;
+        bench::RegionDelta best_delta;
         opts.exec.num_threads = threads;
-        opts.exec.stats = &stats;
         double t = 1e300;
         yield::YieldResult r;
         for (int rep = 0; rep < 3; ++rep) {
-            // Keep the stats of the repetition that set the printed
-            // time, so the columns describe the same run.
+            // Keep the metrics delta of the repetition that set the
+            // printed time, so the columns describe the same run.
+            const obs::Snapshot before = obs::snapshot();
             const double trep = timedYield(arch, opts, r);
             if (trep < t) {
                 t = trep;
-                best_stats = stats;
+                best_delta = bench::regionDelta(before);
             }
         }
         std::printf("%8zu %12.4f %10.2fx %12zu %8zu %9.1fus%s\n",
-                    threads, t, t1 / t, r.successes, best_stats.steals,
-                    best_stats.max_idle_seconds * 1e6,
+                    threads, t, t1 / t, r.successes, best_delta.steals,
+                    best_delta.max_idle_seconds * 1e6,
                     r.successes == reference.successes
                         ? ""
                         : "  MISMATCH!");
@@ -181,10 +183,9 @@ struct SkewedWorkload
         }
     };
 
-    Digest checksum(std::size_t grain, std::size_t threads,
-                    runtime::RegionStats *stats = nullptr) const
+    Digest checksum(std::size_t grain, std::size_t threads) const
     {
-        runtime::Options exec{threads, stats};
+        runtime::Options exec{threads};
         return runtime::parallel_reduce(
             exec, n, grain, Digest{},
             [&](std::size_t begin, std::size_t end, std::size_t) {
@@ -254,18 +255,19 @@ runSkewed(bool assert_speedup)
     SkewedWorkload::Digest digests[2];
     bool ok = true;
     for (int m = 0; m < 2; ++m) {
-        runtime::RegionStats stats, best_stats;
+        bench::RegionDelta best_delta;
         double best = 1e300;
         SkewedWorkload::Digest digest;
         for (int rep = 0; rep < 3; ++rep) {
+            const obs::Snapshot snap = obs::snapshot();
             const auto t0 = clock_type::now();
-            digest = w.checksum(modes[m].grain, w.runners, &stats);
+            digest = w.checksum(modes[m].grain, w.runners);
             const double trep = seconds(t0);
-            // Keep the stats of the repetition that set the printed
-            // time, so the columns describe the same run.
+            // Keep the metrics delta of the repetition that set the
+            // printed time, so the columns describe the same run.
             if (trep < best) {
                 best = trep;
-                best_stats = stats;
+                best_delta = bench::regionDelta(snap);
             }
         }
         times[m] = best;
@@ -274,8 +276,8 @@ runSkewed(bool assert_speedup)
         ok = ok && match;
         std::printf("%8s %12.4f %10.2fx %8zu %10zu %7.1fms%s\n",
                     modes[m].name, best, times[0] / best,
-                    best_stats.chunks, best_stats.steals,
-                    best_stats.max_idle_seconds * 1e3,
+                    best_delta.chunks, best_delta.steals,
+                    best_delta.max_idle_seconds * 1e3,
                     match ? "" : "  MISMATCH!");
     }
 

@@ -1,15 +1,64 @@
 #include "cache/store.hh"
 
 #include <algorithm>
+#include <cstdint>
 #include <filesystem>
 
 #include "common/logging.hh"
+#include "obs/metrics.hh"
 
 namespace qpad::cache
 {
 
 namespace
 {
+
+// Process-wide cache metrics, aggregated over every Store instance
+// (tests construct locals; production uses the one global store).
+// Counters mirror the per-store StoreStats counters; the residency
+// gauges move by delta on insert/evict/clear and a destructor
+// returns a store's remaining residency, so the levels stay exact.
+obs::Counter &
+hitMetric()
+{
+    static obs::Counter &c = obs::counter("cache.hits");
+    return c;
+}
+
+obs::Counter &
+missMetric()
+{
+    static obs::Counter &c = obs::counter("cache.misses");
+    return c;
+}
+
+obs::Counter &
+insertMetric()
+{
+    static obs::Counter &c = obs::counter("cache.inserts");
+    return c;
+}
+
+obs::Counter &
+evictionMetric()
+{
+    static obs::Counter &c = obs::counter("cache.evictions");
+    return c;
+}
+
+obs::Gauge &
+bytesMetric()
+{
+    static obs::Gauge &g = obs::gauge("cache.bytes");
+    return g;
+}
+
+obs::Gauge &
+entriesMetric()
+{
+    static obs::Gauge &g = obs::gauge("cache.entries");
+    return g;
+}
 
 /** Log file name inside CacheOptions::dir. */
 constexpr const char *kLogName = "qpad_cache.qpc";
@@ -57,10 +106,30 @@ Store::Store(const CacheOptions &options)
 {
     if (!options_.dir.empty())
         openLog();
+    if (disk_loaded_ > 0) {
+        static obs::Counter &loaded = obs::counter("cache.disk_loaded");
+        loaded.add(disk_loaded_);
+    }
+    if (disk_dropped_ > 0) {
+        static obs::Counter &dropped =
+            obs::counter("cache.disk_dropped");
+        dropped.add(disk_dropped_);
+    }
 }
 
 Store::~Store()
 {
+    // Return this store's remaining residency so the process-wide
+    // gauges track only live entries.
+    std::int64_t bytes = 0;
+    std::int64_t entries = 0;
+    for (Shard &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        bytes += std::int64_t(shard.bytes);
+        entries += std::int64_t(shard.lru.size());
+    }
+    bytesMetric().add(-bytes);
+    entriesMetric().add(-entries);
     if (log_)
         std::fclose(log_);
 }
@@ -79,11 +148,13 @@ Store::get(const Fingerprint &key, std::vector<uint8_t> &value)
     auto it = shard.map.find(key);
     if (it == shard.map.end()) {
         misses_.fetch_add(1, std::memory_order_relaxed);
+        missMetric().add();
         return false;
     }
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
     value = it->second->value;
     hits_.fetch_add(1, std::memory_order_relaxed);
+    hitMetric().add();
     return true;
 }
 
@@ -93,27 +164,43 @@ Store::putInMemory(const Fingerprint &key,
 {
     Shard &shard = shardFor(key);
     std::lock_guard<std::mutex> lock(shard.mutex);
+    // Gauge movement is accumulated locally and applied once: fewer
+    // atomic RMWs, and the gauges see one consistent step per call.
+    std::int64_t byte_delta = 0;
+    std::int64_t entry_delta = 0;
     auto it = shard.map.find(key);
     if (it != shard.map.end()) {
+        byte_delta -= std::int64_t(entryBytes(it->second->value));
         shard.bytes -= entryBytes(it->second->value);
         it->second->value = value;
         shard.bytes += entryBytes(value);
+        byte_delta += std::int64_t(entryBytes(value));
         shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
     } else {
         shard.lru.push_front(Entry{key, value});
         shard.map.emplace(key, shard.lru.begin());
         shard.bytes += entryBytes(value);
+        byte_delta += std::int64_t(entryBytes(value));
+        entry_delta += 1;
     }
     // Evict from the cold end while over budget; the entry just
     // touched is never evicted, so even an over-budget payload is
     // served back at least until the next insertion.
+    uint64_t evicted = 0;
     while (shard.bytes > shard_budget_ && shard.lru.size() > 1) {
         const Entry &victim = shard.lru.back();
+        byte_delta -= std::int64_t(entryBytes(victim.value));
+        entry_delta -= 1;
         shard.bytes -= entryBytes(victim.value);
         shard.map.erase(victim.key);
         shard.lru.pop_back();
         evictions_.fetch_add(1, std::memory_order_relaxed);
+        ++evicted;
     }
+    if (evicted > 0)
+        evictionMetric().add(evicted);
+    bytesMetric().add(byte_delta);
+    entriesMetric().add(entry_delta);
 }
 
 void
@@ -121,6 +208,7 @@ Store::put(const Fingerprint &key, const std::vector<uint8_t> &value)
 {
     putInMemory(key, value);
     inserts_.fetch_add(1, std::memory_order_relaxed);
+    insertMetric().add();
     appendRecord(key, value);
 }
 
@@ -129,6 +217,8 @@ Store::clear()
 {
     for (Shard &shard : shards_) {
         std::lock_guard<std::mutex> lock(shard.mutex);
+        bytesMetric().add(-std::int64_t(shard.bytes));
+        entriesMetric().add(-std::int64_t(shard.lru.size()));
         shard.lru.clear();
         shard.map.clear();
         shard.bytes = 0;

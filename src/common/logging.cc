@@ -1,29 +1,11 @@
 #include "common/logging.hh"
 
-#include <atomic>
 #include <stdexcept>
 
 namespace qpad
 {
 namespace detail
 {
-
-namespace
-{
-std::atomic<bool> quiet_flag{false};
-} // namespace
-
-void
-setQuiet(bool quiet)
-{
-    quiet_flag.store(quiet);
-}
-
-bool
-isQuiet()
-{
-    return quiet_flag.load();
-}
 
 void
 panicImpl(const char *file, int line, const std::string &msg)

@@ -10,6 +10,7 @@
 #ifndef QPAD_COMMON_LOGGING_HH
 #define QPAD_COMMON_LOGGING_HH
 
+#include <atomic>
 #include <cstdlib>
 #include <iostream>
 #include <sstream>
@@ -38,9 +39,25 @@ concat(Args &&...args)
 void warnImpl(const std::string &msg);
 void informImpl(const std::string &msg);
 
+/**
+ * Quiet flag for inform()/warn() (used by quiet benches). An atomic
+ * so benches may toggle it while worker threads log; relaxed is
+ * enough — it gates diagnostics only and orders nothing else.
+ */
+inline std::atomic<bool> g_quiet_flag{false};
+
 /** Globally silence inform()/warn() (used by quiet benches). */
-void setQuiet(bool quiet);
-bool isQuiet();
+inline void
+setQuiet(bool quiet)
+{
+    g_quiet_flag.store(quiet, std::memory_order_relaxed);
+}
+
+inline bool
+isQuiet()
+{
+    return g_quiet_flag.load(std::memory_order_relaxed);
+}
 
 } // namespace detail
 

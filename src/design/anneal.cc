@@ -6,6 +6,8 @@
 
 #include "cache/yield_cache.hh"
 #include "common/logging.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "runtime/seed_seq.hh"
 
 namespace qpad::design
@@ -242,6 +244,10 @@ annealLayout(const profile::CouplingProfile &profile,
                 "start layout size mismatch");
     qpad_assert(options.restarts >= 1, "annealLayout needs >= 1 chain");
 
+    QPAD_SPAN("design.anneal");
+    static obs::Counter &anneals = obs::counter("design.anneals");
+    anneals.add();
+
     // Run the K independent chains; chain 0 reproduces the legacy
     // single-chain behaviour exactly, so restarts = 1 is bit-for-bit
     // the classic annealer regardless of options.exec.
@@ -264,6 +270,11 @@ annealLayout(const profile::CouplingProfile &profile,
                 // Each restart chain is memoized on its own key, so
                 // a warm rerun — or one with a higher restart count
                 // — replays finished chains from the cache.
+                // Count (and span) only chains that actually anneal;
+                // cache-served chains are already visible as
+                // cache.hits.
+                static obs::Counter &chain_runs =
+                    obs::counter("design.anneal_chains");
                 std::vector<uint8_t> blob;
                 if (use_cache) {
                     const cache::Fingerprint key =
@@ -271,11 +282,17 @@ annealLayout(const profile::CouplingProfile &profile,
                     if (store.get(key, blob) &&
                         decodeChain(blob, n, chains[i]))
                         continue;
-                    chains[i] =
-                        annealChain(profile, start, options, seed);
+                    {
+                        QPAD_SPAN("design.anneal_chain");
+                        chain_runs.add();
+                        chains[i] =
+                            annealChain(profile, start, options, seed);
+                    }
                     store.put(key, encodeChain(chains[i]));
                     continue;
                 }
+                QPAD_SPAN("design.anneal_chain");
+                chain_runs.add();
                 chains[i] = annealChain(profile, start, options, seed);
             }
         });

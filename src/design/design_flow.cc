@@ -3,6 +3,8 @@
 #include "arch/ibm.hh"
 #include "cache/yield_cache.hh"
 #include "common/logging.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 
 namespace qpad::design
 {
@@ -14,13 +16,27 @@ designArchitecture(const profile::CouplingProfile &profile,
                    const DesignFlowOptions &options,
                    const std::string &name)
 {
+    QPAD_SPAN("design.flow");
+    static obs::Counter &flows = obs::counter("design.flows");
+    flows.add();
+
     DesignOutcome outcome;
 
     // Subroutine 1: qubit layout (Algorithm 1).
-    outcome.layout = designLayout(profile);
+    {
+        QPAD_SPAN("design.layout");
+        static obs::Counter &layouts = obs::counter("design.layouts");
+        layouts.add();
+        outcome.layout = designLayout(profile);
+    }
     outcome.architecture = Architecture(outcome.layout.layout, name);
 
     // Subroutine 2: bus selection (Algorithm 2 or a baseline).
+    {
+    QPAD_SPAN("design.bus_select");
+    static obs::Counter &bus_selects =
+        obs::counter("design.bus_selections");
+    bus_selects.add();
     switch (options.bus_scheme) {
       case BusScheme::Weighted:
         outcome.buses = selectBuses(outcome.architecture, profile,
@@ -48,8 +64,14 @@ designArchitecture(const profile::CouplingProfile &profile,
         break;
       }
     }
+    }
 
     // Subroutine 3: frequency allocation (Algorithm 3 or 5-freq).
+    {
+    QPAD_SPAN("design.freq_alloc");
+    static obs::Counter &freq_allocs =
+        obs::counter("design.freq_allocations");
+    freq_allocs.add();
     switch (options.freq_scheme) {
       case FreqScheme::Optimized:
         // Algorithm 3's candidate scan dominates the flow's cost and
@@ -64,6 +86,7 @@ designArchitecture(const profile::CouplingProfile &profile,
       case FreqScheme::FiveFrequency:
         arch::applyFiveFrequencyScheme(outcome.architecture);
         break;
+    }
     }
 
     return outcome;

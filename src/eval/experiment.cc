@@ -6,6 +6,7 @@
 #include "arch/ibm.hh"
 #include "cache/yield_cache.hh"
 #include "common/logging.hh"
+#include "obs/trace.hh"
 #include "profile/coupling.hh"
 
 namespace qpad::eval
@@ -46,6 +47,11 @@ DataPoint
 measure(const std::string &config, const Architecture &arch,
         const Circuit &circuit, const ExperimentOptions &options)
 {
+    QPAD_SPAN("eval.measure");
+    static obs::Counter &measurements =
+        obs::counter("eval.measurements");
+    measurements.add();
+
     DataPoint point;
     point.config = config;
     point.arch_name = arch.name();
@@ -65,6 +71,9 @@ measure(const std::string &config, const Architecture &arch,
     yield::YieldResult yr = cache::cachedEstimateYield(arch, yopts);
     while (options.adaptive_yield_trials && yr.successes == 0 &&
            yopts.trials < options.max_yield_trials) {
+        static obs::Counter &escalations =
+            obs::counter("yield.escalations");
+        escalations.add();
         yopts.trials = std::min(options.max_yield_trials,
                                 yopts.trials * 10);
         yr = cache::cachedEstimateYield(arch, yopts);
@@ -78,6 +87,10 @@ BenchmarkExperiment
 runBenchmark(const benchmarks::BenchmarkInfo &info,
              const ExperimentOptions &options)
 {
+    QPAD_SPAN("eval.run_benchmark");
+    static obs::Counter &benchmarks = obs::counter("eval.benchmarks");
+    benchmarks.add();
+
     BenchmarkExperiment experiment;
     experiment.benchmark = info.name;
 
@@ -180,7 +193,7 @@ runBenchmark(const benchmarks::BenchmarkInfo &info,
         }
     }
 
-    const cache::StoreStats before = cache::globalCacheStats();
+    const obs::Snapshot before = obs::snapshot();
 
     experiment.points.resize(jobs.size());
     // Guided sizing (grain 0): adaptive yield escalation makes some
@@ -192,19 +205,30 @@ runBenchmark(const benchmarks::BenchmarkInfo &info,
     runtime::parallel_for(
         options.exec, jobs.size(), 0,
         [&](std::size_t begin, std::size_t end, std::size_t) {
-            for (std::size_t i = begin; i < end; ++i)
+            static obs::Counter &data_points =
+                obs::counter("eval.data_points");
+            for (std::size_t i = begin; i < end; ++i) {
+                QPAD_SPAN("eval.data_point");
+                data_points.add();
                 experiment.points[i] = jobs[i]();
+            }
         });
 
-    // Surface this run's cache activity in the report (counters are
-    // deltas; bytes/entries the store's residency afterwards).
-    cache::StoreStats after = cache::globalCacheStats();
-    experiment.cache_stats = after;
-    experiment.cache_stats.hits = after.hits - before.hits;
-    experiment.cache_stats.misses = after.misses - before.misses;
-    experiment.cache_stats.inserts = after.inserts - before.inserts;
+    // Surface this run's activity in the report: the metrics delta
+    // carries every series the run moved, and the legacy cache_stats
+    // view is derived from its cache.* entries (counter deltas; the
+    // gauges report residency, which deltaSince keeps absolute).
+    experiment.metrics = obs::deltaSince(before);
+    const obs::Snapshot &delta = experiment.metrics;
+    experiment.cache_stats = cache::globalCacheStats();
+    experiment.cache_stats.hits =
+        uint64_t(obs::valueOf(delta, "cache.hits"));
+    experiment.cache_stats.misses =
+        uint64_t(obs::valueOf(delta, "cache.misses"));
+    experiment.cache_stats.inserts =
+        uint64_t(obs::valueOf(delta, "cache.inserts"));
     experiment.cache_stats.evictions =
-        after.evictions - before.evictions;
+        uint64_t(obs::valueOf(delta, "cache.evictions"));
 
     normalize(experiment);
     return experiment;

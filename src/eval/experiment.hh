@@ -16,6 +16,7 @@
 #include "cache/store.hh"
 #include "design/design_flow.hh"
 #include "mapping/sabre.hh"
+#include "obs/metrics.hh"
 #include "runtime/parallel.hh"
 #include "yield/yield_sim.hh"
 
@@ -90,6 +91,14 @@ struct BenchmarkExperiment
      * the cache.
      */
     cache::StoreStats cache_stats{};
+
+    /**
+     * Process-metrics delta over this run (obs::deltaSince of a
+     * snapshot taken before the first job): every runtime.*, cache.*,
+     * design.*, yield.* and eval.* series the run moved. cache_stats
+     * above is derived from the cache.* entries of this delta.
+     */
+    obs::Snapshot metrics;
 
     /** Points of one configuration, in insertion order. */
     std::vector<const DataPoint *>

@@ -5,6 +5,8 @@
 #include <ostream>
 #include <sstream>
 
+#include "obs/metrics.hh"
+
 namespace qpad::eval
 {
 
@@ -70,15 +72,15 @@ printExperiment(std::ostream &out, const BenchmarkExperiment &experiment)
             << formatFixed(p.norm_recip_gates) << std::setw(11)
             << yieldCell(p) << "\n";
     }
-    const auto &cs = experiment.cache_stats;
-    if (cs.hits + cs.misses > 0) {
-        const double rate = 100.0 * double(cs.hits) /
-                            double(cs.hits + cs.misses);
-        out << "  cache: " << cs.hits << " hits / " << cs.misses
-            << " misses (" << formatFixed(rate, 1) << "% hit rate), "
-            << cs.inserts << " inserts, " << cs.evictions
-            << " evictions, " << cs.bytes << " bytes in "
-            << cs.entries << " entries\n";
+    // Cache activity, straight from the run's metrics delta (the
+    // same registry QPAD_METRICS dumps at exit).
+    const double hits = obs::valueOf(experiment.metrics, "cache.hits");
+    const double misses =
+        obs::valueOf(experiment.metrics, "cache.misses");
+    if (hits + misses > 0) {
+        const double rate = 100.0 * hits / (hits + misses);
+        out << "  cache (" << formatFixed(rate, 1) << "% hit rate):\n";
+        obs::writeTable(out, experiment.metrics, "cache.", "    ");
     }
 }
 

@@ -1,0 +1,251 @@
+#include "obs/trace.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace qpad::obs
+{
+
+namespace
+{
+
+/** One span edge; 'B' on construction, 'E' on destruction. */
+struct Event
+{
+    const char *name;
+    uint64_t ts_ns;
+    uint32_t tid;
+    char phase;
+};
+
+uint64_t
+nowNs()
+{
+    return uint64_t(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+class ThreadBuffer;
+
+/**
+ * Process-wide event sink. Leaked on purpose (reachable through the
+ * instance() pointer, so LeakSanitizer stays quiet): pool workers
+ * retire their buffers during static destruction, which may run
+ * after any destructor this object could have had.
+ */
+class Collector
+{
+  public:
+    static Collector &
+    instance()
+    {
+        static Collector *collector = new Collector;
+        return *collector;
+    }
+
+    uint32_t registerBuffer(ThreadBuffer *buffer);
+    void retireBuffer(ThreadBuffer *buffer);
+
+    bool
+    begin(const std::string &path)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (active_)
+            return false;
+        clearLocked();
+        path_ = path;
+        active_ = true;
+        return true;
+    }
+
+    void end();
+
+  private:
+    void clearLocked();
+    void writeFile(const std::vector<Event> &events);
+
+    std::mutex mutex_;
+    std::vector<ThreadBuffer *> live_;
+    std::vector<Event> retired_;
+    uint32_t next_tid_ = 0;
+    std::string path_;
+    bool active_ = false;
+};
+
+/**
+ * Per-thread event buffer. The owner pushes under its own mutex —
+ * uncontended except during a flush, which briefly locks each
+ * buffer to copy it out. Destroyed at thread exit: events move to
+ * the collector so a flush after a pool shutdown still sees them.
+ */
+class ThreadBuffer
+{
+  public:
+    ThreadBuffer()
+        : tid_(Collector::instance().registerBuffer(this))
+    {
+    }
+
+    ~ThreadBuffer() { Collector::instance().retireBuffer(this); }
+
+    void
+    push(const char *name, char phase)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        events_.push_back(Event{name, nowNs(), tid_, phase});
+    }
+
+    void
+    drainInto(std::vector<Event> &out)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        out.insert(out.end(), events_.begin(), events_.end());
+        events_.clear();
+    }
+
+    void
+    clear()
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        events_.clear();
+    }
+
+  private:
+    std::mutex mutex_;
+    std::vector<Event> events_;
+    uint32_t tid_;
+};
+
+uint32_t
+Collector::registerBuffer(ThreadBuffer *buffer)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    live_.push_back(buffer);
+    return next_tid_++;
+}
+
+void
+Collector::retireBuffer(ThreadBuffer *buffer)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    buffer->drainInto(retired_);
+    live_.erase(std::remove(live_.begin(), live_.end(), buffer),
+                live_.end());
+}
+
+void
+Collector::clearLocked()
+{
+    retired_.clear();
+    for (ThreadBuffer *buffer : live_)
+        buffer->clear();
+}
+
+void
+Collector::end()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!active_)
+        return;
+    active_ = false;
+    std::vector<Event> events;
+    std::swap(events, retired_);
+    for (ThreadBuffer *buffer : live_)
+        buffer->drainInto(events);
+    writeFile(events);
+    path_.clear();
+}
+
+void
+Collector::writeFile(const std::vector<Event> &events)
+{
+    std::ofstream out(path_, std::ios::trunc);
+    if (!out) {
+        qpad_warn("obs: cannot write QPAD_TRACE file '", path_, "'");
+        return;
+    }
+    uint64_t t0 = UINT64_MAX;
+    for (const Event &e : events)
+        t0 = std::min(t0, e.ts_ns);
+
+    // Chrome trace-event JSON array format, one event per line (the
+    // test suite parses it line-wise; json.tool validates the whole
+    // file). Events stay in per-thread recording order — Perfetto
+    // sorts by ts and only same-thread order matters for nesting —
+    // and ts is microseconds with nanosecond precision.
+    out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    bool first = true;
+    for (const Event &e : events) {
+        out << (first ? "\n" : ",\n");
+        first = false;
+        char line[256];
+        // Span names are code-controlled literals ([a-z0-9._-]), so
+        // no JSON escaping is needed.
+        std::snprintf(line, sizeof line,
+                      "{\"name\":\"%s\",\"cat\":\"qpad\",\"ph\":\"%c\","
+                      "\"pid\":1,\"tid\":%u,\"ts\":%.3f}",
+                      e.name, e.phase, e.tid,
+                      double(e.ts_ns - t0) / 1000.0);
+        out << line;
+    }
+    out << "\n]}\n";
+}
+
+/** Reads QPAD_TRACE once at static init (env is set before main)
+ * and schedules the exit flush. Registered this early, the atexit
+ * handler runs after the thread pool's static destructor has joined
+ * its workers — whose buffers retire into the collector — so the
+ * flushed file includes every worker's spans. */
+struct TraceEnvInit
+{
+    TraceEnvInit()
+    {
+        const char *path = std::getenv("QPAD_TRACE");
+        if (!path || !*path)
+            return;
+        startTracing(path);
+        std::atexit([] { stopTracing(); });
+    }
+} g_trace_env_init;
+
+} // namespace
+
+namespace detail
+{
+
+void
+recordEvent(const char *name, char phase)
+{
+    static thread_local ThreadBuffer t_buffer;
+    t_buffer.push(name, phase);
+}
+
+} // namespace detail
+
+bool
+startTracing(const std::string &path)
+{
+    if (!Collector::instance().begin(path))
+        return false;
+    detail::g_tracing.store(true, std::memory_order_relaxed);
+    return true;
+}
+
+void
+stopTracing()
+{
+    detail::g_tracing.store(false, std::memory_order_relaxed);
+    Collector::instance().end();
+}
+
+} // namespace qpad::obs

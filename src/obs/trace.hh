@@ -1,0 +1,103 @@
+/**
+ * @file
+ * RAII span tracer with Chrome trace-event JSON output.
+ *
+ * Usage: `QPAD_SPAN("yield.estimate");` opens a span that closes at
+ * scope exit. Spans nest naturally (they are stack objects) and
+ * carry the recording thread's id, so the flushed file renders as a
+ * per-thread flame graph in chrome://tracing or Perfetto
+ * (https://ui.perfetto.dev, "Open trace file").
+ *
+ * Cost contract: with tracing disabled — the default — a span is ONE
+ * relaxed atomic load and a branch; no allocation, no locks, no
+ * clock reads. Enabled spans read the steady clock twice and push a
+ * 24-byte event into a per-thread buffer (one uncontended mutex
+ * each). Tracing never feeds back into any computation: results are
+ * bit-identical with tracing on or off, and the test suite pins that
+ * invariant.
+ *
+ * Enable with QPAD_TRACE=<path> (flushed at process exit) or
+ * programmatically with startTracing()/stopTracing(). Span names
+ * must be string literals (or otherwise outlive the trace session):
+ * the tracer stores the pointer, never a copy.
+ */
+
+#ifndef QPAD_OBS_TRACE_HH
+#define QPAD_OBS_TRACE_HH
+
+#include <atomic>
+#include <string>
+
+namespace qpad::obs
+{
+
+namespace detail
+{
+
+/** The one hot-path flag: set only by start/stopTracing. */
+inline std::atomic<bool> g_tracing{false};
+
+/** Append a begin ('B') or end ('E') event for the calling thread.
+ * `name` must outlive the trace session (string literal). */
+void recordEvent(const char *name, char phase);
+
+} // namespace detail
+
+inline bool
+tracingEnabled()
+{
+    return detail::g_tracing.load(std::memory_order_relaxed);
+}
+
+/** RAII scope; prefer the QPAD_SPAN macro. */
+class Span
+{
+  public:
+    explicit Span(const char *name)
+    {
+        if (tracingEnabled()) {
+            name_ = name;
+            detail::recordEvent(name, 'B');
+        }
+    }
+
+    ~Span()
+    {
+        // A span that began is always closed, even if tracing was
+        // toggled meanwhile, so flushed streams stay balanced.
+        if (name_)
+            detail::recordEvent(name_, 'E');
+    }
+
+    Span(const Span &) = delete;
+    Span &operator=(const Span &) = delete;
+
+  private:
+    const char *name_ = nullptr;
+};
+
+/**
+ * Begin a trace session writing to `path` on stopTracing(). Clears
+ * any events buffered from a previous session. Returns false (and
+ * changes nothing) if a session is already active.
+ */
+bool startTracing(const std::string &path);
+
+/**
+ * End the session: disable recording, gather every thread's buffer,
+ * and write the Chrome trace-event JSON file. No-op when no session
+ * is active. Close all spans before calling (an open span's end
+ * event would be dropped, unbalancing the next session's file).
+ */
+void stopTracing();
+
+} // namespace qpad::obs
+
+#define QPAD_OBS_CONCAT2(a, b) a##b
+#define QPAD_OBS_CONCAT(a, b) QPAD_OBS_CONCAT2(a, b)
+
+/** Open a trace span for the rest of the enclosing scope. */
+#define QPAD_SPAN(name)                                                 \
+    ::qpad::obs::Span QPAD_OBS_CONCAT(qpad_obs_span_, __LINE__)(name)
+
+#endif // QPAD_OBS_TRACE_HH

@@ -54,6 +54,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.hh"
 #include "runtime/region.hh"
 #include "runtime/thread_pool.hh"
 
@@ -109,10 +110,16 @@ clampRunners(std::size_t threads, std::size_t chunks)
     return std::min(threads, ThreadPool::global().size() + 1);
 }
 
-/** Fill the stats sink for a sequentially-executed region. */
+/** Fill the stats sink for a sequentially-executed region, and fold
+ * the region into the process metrics (parallel regions publish the
+ * same series from runRegion). */
 inline void
 sequentialStats(RegionStats *stats, std::size_t chunks)
 {
+    static obs::Counter &regions = obs::counter("runtime.seq_regions");
+    static obs::Counter &chunk_count = obs::counter("runtime.chunks");
+    regions.add();
+    chunk_count.add(chunks);
     if (!stats)
         return;
     stats->threads = 1;

@@ -5,6 +5,8 @@
 
 #include "common/logging.hh"
 #include "common/rng.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "runtime/thread_pool.hh"
 
 namespace qpad::runtime::detail
@@ -19,6 +21,24 @@ double
 secondsSince(clock::time_point t0)
 {
     return std::chrono::duration<double>(clock::now() - t0).count();
+}
+
+/** Fold one completed region into the process metrics registry. */
+void
+publishRegion(const RegionStats &stats, double seconds)
+{
+    static obs::Counter &regions = obs::counter("runtime.regions");
+    static obs::Counter &chunks = obs::counter("runtime.chunks");
+    static obs::Counter &steals = obs::counter("runtime.steals");
+    static obs::Histogram &duration =
+        obs::histogram("runtime.region_seconds");
+    static obs::Histogram &idle =
+        obs::histogram("runtime.region_idle_seconds");
+    regions.add();
+    chunks.add(stats.chunks);
+    steals.add(stats.steals);
+    duration.observe(seconds);
+    idle.observe(stats.max_idle_seconds);
 }
 
 } // namespace
@@ -189,6 +209,8 @@ runRegion(std::size_t chunks, std::size_t threads, bool guided,
 {
     qpad_assert(threads >= 2 && threads <= chunks,
                 "runRegion caller must pre-clamp the runner count");
+    QPAD_SPAN("runtime.region");
+    const auto region_begin = clock::now();
     auto region = std::make_shared<RegionState>(threads, chunks,
                                                 std::move(run_chunk));
 
@@ -231,8 +253,14 @@ runRegion(std::size_t chunks, std::size_t threads, bool guided,
     region->waitDone();
     region->recordIdle(secondsSince(wait_begin));
 
-    if (stats)
-        region->collectStats(*stats);
+    // Scheduler statistics always flow into the metrics registry
+    // (the RegionStats sink is the per-region view, the registry the
+    // process-wide one), and before the rethrow so failed regions
+    // are counted too.
+    RegionStats local;
+    RegionStats &collected = stats ? *stats : local;
+    region->collectStats(collected);
+    publishRegion(collected, secondsSince(region_begin));
     region->rethrowIfFailed();
 }
 

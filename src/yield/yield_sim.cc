@@ -5,6 +5,8 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "runtime/seed_seq.hh"
 
 namespace qpad::yield
@@ -79,6 +81,21 @@ estimateYield(const CollisionChecker &checker,
     // bit-identical (same conditions, same RNG draw order).
     const bool batched =
         !options.collect_condition_stats && useBatchedKernel();
+
+    // One span + a few counter bumps per *estimate* (never per
+    // trial): the Monte Carlo loop itself stays untouched.
+    QPAD_SPAN("yield.estimate");
+    {
+        static obs::Counter &estimates = obs::counter("yield.estimates");
+        static obs::Counter &trials = obs::counter("yield.trials");
+        static obs::Counter &batched_runs =
+            obs::counter("yield.batched_estimates");
+        static obs::Counter &scalar_runs =
+            obs::counter("yield.scalar_estimates");
+        estimates.add();
+        trials.add(options.trials);
+        (batched ? batched_runs : scalar_runs).add();
+    }
     const BatchCollisionChecker batch =
         batched ? BatchCollisionChecker(checker)
                 : BatchCollisionChecker();
@@ -318,6 +335,13 @@ LocalYieldSimulator::simulate(const std::vector<double> &freqs,
     if (trials == 0)
         return 0.0;
 
+    // Counters only — local sims run inside anneal chains, far too
+    // hot for spans.
+    static obs::Counter &sims = obs::counter("yield.local_sims");
+    static obs::Counter &sim_trials = obs::counter("yield.local_trials");
+    sims.add();
+    sim_trials.add(trials);
+
     std::size_t successes;
     if (resolveRngScheme(scheme) == RngScheme::kV2) {
         // One draw of the caller's generator seeds the lane sampler:
@@ -344,6 +368,11 @@ LocalYieldSimulator::simulate(const std::vector<double> &freqs,
         return 1.0;
     if (trials == 0)
         return 0.0;
+
+    static obs::Counter &sims = obs::counter("yield.local_sims");
+    static obs::Counter &sim_trials = obs::counter("yield.local_trials");
+    sims.add();
+    sim_trials.add(trials);
 
     const bool batched = useBatchedKernel();
     const RngScheme active = resolveRngScheme(scheme);

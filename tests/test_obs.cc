@@ -1,0 +1,490 @@
+/**
+ * @file
+ * Tests for qpad::obs: the metrics registry (counters, gauges,
+ * histograms, deterministic snapshots, deltas, exporters) and the
+ * span tracer (balanced Chrome trace-event output, the zero-cost
+ * disabled path, and the bit-identity of traced vs untraced runs).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <new>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "arch/ibm.hh"
+#include "cache/fingerprint.hh"
+#include "cache/store.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+#include "runtime/parallel.hh"
+#include "yield/yield_sim.hh"
+
+// --------------------------------------------------------------------
+// Counting global allocator, for the disabled-span zero-alloc test.
+// The default operator new[] / delete[] forward here, so array
+// allocations are counted too. GCC cannot see that the replacement
+// operator new below is malloc-backed, so its new/free pairing
+// heuristic misfires — suppress it for this file.
+// --------------------------------------------------------------------
+
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
+namespace
+{
+std::atomic<uint64_t> g_allocs{0};
+} // namespace
+
+void *
+operator new(std::size_t size)
+{
+    g_allocs.fetch_add(1, std::memory_order_relaxed);
+    if (void *p = std::malloc(size ? size : 1))
+        return p;
+    throw std::bad_alloc();
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+namespace
+{
+
+using namespace qpad;
+
+std::string
+tracePath(const std::string &name)
+{
+    return testing::TempDir() + "qpad_trace_" + name + ".json";
+}
+
+// --------------------------------------------------------------------
+// Metric primitives
+// --------------------------------------------------------------------
+
+TEST(Metrics, CounterAccumulates)
+{
+    obs::Counter &c = obs::counter("test.counter_accumulates");
+    const uint64_t before = c.value();
+    c.add();
+    c.add(41);
+    EXPECT_EQ(c.value(), before + 42);
+}
+
+TEST(Metrics, CounterSumsAcrossThreads)
+{
+    obs::Counter &c = obs::counter("test.counter_threads");
+    const uint64_t before = c.value();
+    constexpr int kThreads = 8;
+    constexpr uint64_t kAdds = 10000;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t)
+        threads.emplace_back([&c] {
+            for (uint64_t i = 0; i < kAdds; ++i)
+                c.add();
+        });
+    for (auto &t : threads)
+        t.join();
+    EXPECT_EQ(c.value(), before + kThreads * kAdds);
+}
+
+TEST(Metrics, GaugeMovesBothWays)
+{
+    obs::Gauge &g = obs::gauge("test.gauge");
+    g.set(10);
+    g.add(-25);
+    EXPECT_EQ(g.value(), -15);
+    g.add(15);
+    EXPECT_EQ(g.value(), 0);
+}
+
+TEST(Metrics, HistogramBucketsAndMoments)
+{
+    obs::Histogram &h =
+        obs::histogram("test.histogram", {1.0, 10.0, 100.0});
+    h.observe(0.5);   // bucket 0 (<= 1)
+    h.observe(10.0);  // bucket 1 (<= 10, inclusive upper bound)
+    h.observe(99.0);  // bucket 2
+    h.observe(1000.0); // +inf bucket
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 10.0 + 99.0 + 1000.0);
+    EXPECT_DOUBLE_EQ(h.max(), 1000.0);
+    const std::vector<uint64_t> buckets = h.bucketCounts();
+    ASSERT_EQ(buckets.size(), 4u);
+    EXPECT_EQ(buckets[0], 1u);
+    EXPECT_EQ(buckets[1], 1u);
+    EXPECT_EQ(buckets[2], 1u);
+    EXPECT_EQ(buckets[3], 1u);
+}
+
+TEST(Metrics, RegistryReturnsSameInstance)
+{
+    obs::Counter &a = obs::counter("test.same_instance");
+    obs::Counter &b = obs::counter("test.same_instance");
+    EXPECT_EQ(&a, &b);
+}
+
+TEST(Metrics, KindMismatchPanics)
+{
+    obs::counter("test.kind_mismatch");
+    EXPECT_THROW(obs::gauge("test.kind_mismatch"), std::logic_error);
+    EXPECT_THROW(obs::histogram("test.kind_mismatch"),
+                 std::logic_error);
+}
+
+// --------------------------------------------------------------------
+// Snapshots
+// --------------------------------------------------------------------
+
+TEST(Metrics, SnapshotIsNameSorted)
+{
+    obs::counter("test.zzz_sorted");
+    obs::counter("test.aaa_sorted");
+    const obs::Snapshot snap = obs::snapshot();
+    ASSERT_GE(snap.size(), 2u);
+    for (std::size_t i = 1; i < snap.size(); ++i)
+        EXPECT_LT(snap[i - 1].name, snap[i].name);
+}
+
+TEST(Metrics, SnapshotTotalsIndependentOfThreadCount)
+{
+    // The same instrumented workload must report identical totals at
+    // every thread count: counts reflect work done, not scheduling.
+    constexpr std::size_t kN = 1000;
+    uint64_t totals[2];
+    int slot = 0;
+    for (std::size_t threads : {1u, 4u}) {
+        obs::Counter &c = obs::counter("test.thread_independent");
+        const uint64_t before = c.value();
+        runtime::Options exec;
+        exec.num_threads = threads;
+        runtime::parallel_for(
+            exec, kN, 8,
+            [&c](std::size_t begin, std::size_t end, std::size_t) {
+                c.add(end - begin);
+            });
+        totals[slot++] = c.value() - before;
+    }
+    EXPECT_EQ(totals[0], kN);
+    EXPECT_EQ(totals[1], kN);
+}
+
+TEST(Metrics, DeltaSinceSubtractsCountersKeepsGauges)
+{
+    obs::Counter &c = obs::counter("test.delta_counter");
+    obs::Gauge &g = obs::gauge("test.delta_gauge");
+    obs::Histogram &h = obs::histogram("test.delta_hist");
+    c.add(5);
+    g.set(100);
+    h.observe(1.0);
+    const obs::Snapshot before = obs::snapshot();
+    c.add(7);
+    g.set(42);
+    h.observe(2.0);
+    const obs::Snapshot delta = obs::deltaSince(before);
+    EXPECT_DOUBLE_EQ(obs::valueOf(delta, "test.delta_counter"), 7.0);
+    // Gauges are levels: the delta keeps the current value.
+    EXPECT_DOUBLE_EQ(obs::valueOf(delta, "test.delta_gauge"), 42.0);
+    const obs::Sample *hist = obs::find(delta, "test.delta_hist");
+    ASSERT_NE(hist, nullptr);
+    EXPECT_EQ(hist->count, 1u);
+    EXPECT_DOUBLE_EQ(hist->sum, 2.0);
+}
+
+TEST(Metrics, FindAndValueOf)
+{
+    obs::counter("test.value_of").add(9);
+    const obs::Snapshot snap = obs::snapshot();
+    EXPECT_EQ(obs::find(snap, "test.no_such_metric"), nullptr);
+    EXPECT_DOUBLE_EQ(obs::valueOf(snap, "test.no_such_metric"), 0.0);
+    EXPECT_GE(obs::valueOf(snap, "test.value_of"), 9.0);
+}
+
+TEST(Metrics, WritersProduceOutput)
+{
+    obs::counter("test.writer_counter").add(3);
+    const obs::Snapshot snap = obs::snapshot();
+
+    std::ostringstream table;
+    obs::writeTable(table, snap, "test.writer_", "  ");
+    EXPECT_NE(table.str().find("test.writer_counter"),
+              std::string::npos);
+
+    std::ostringstream json;
+    obs::writeJson(json, snap);
+    const std::string text = json.str();
+    EXPECT_EQ(text.rfind("{\"metrics\":[", 0), 0u);
+    // Structurally balanced braces/brackets (names and kinds are
+    // code-controlled, so no string literal ever contains either).
+    int braces = 0, brackets = 0;
+    for (char ch : text) {
+        braces += ch == '{';
+        braces -= ch == '}';
+        brackets += ch == '[';
+        brackets -= ch == ']';
+        EXPECT_GE(braces, 0);
+        EXPECT_GE(brackets, 0);
+    }
+    EXPECT_EQ(braces, 0);
+    EXPECT_EQ(brackets, 0);
+}
+
+// --------------------------------------------------------------------
+// Instrumented subsystems publish into the registry
+// --------------------------------------------------------------------
+
+TEST(Metrics, RuntimeRegionsPublish)
+{
+    const obs::Snapshot before = obs::snapshot();
+    runtime::Options exec;
+    exec.num_threads = 4;
+    std::atomic<std::size_t> sum{0};
+    runtime::parallel_for(
+        exec, 64, 1,
+        [&sum](std::size_t begin, std::size_t, std::size_t) {
+            sum.fetch_add(begin, std::memory_order_relaxed);
+        });
+    const obs::Snapshot delta = obs::deltaSince(before);
+    // Grain 1 over 64 indices = 64 chunks, whether the region ran
+    // parallel or degraded to sequential.
+    EXPECT_DOUBLE_EQ(obs::valueOf(delta, "runtime.chunks"), 64.0);
+    EXPECT_GE(obs::valueOf(delta, "runtime.regions") +
+                  obs::valueOf(delta, "runtime.seq_regions"),
+              1.0);
+}
+
+TEST(Metrics, CacheStorePublishesAndGaugesReturnToBaseline)
+{
+    const obs::Snapshot at_start = obs::snapshot();
+    const double bytes0 = obs::valueOf(at_start, "cache.bytes");
+    const double entries0 = obs::valueOf(at_start, "cache.entries");
+    {
+        cache::Store store;
+        cache::Encoder enc;
+        enc.str("obs.test.entry");
+        const cache::Fingerprint key = enc.digest();
+        store.put(key, std::vector<uint8_t>{1, 2, 3});
+        std::vector<uint8_t> out;
+        EXPECT_TRUE(store.get(key, out));
+        enc.u64(99);
+        EXPECT_FALSE(store.get(enc.digest(), out));
+
+        const obs::Snapshot delta = obs::deltaSince(at_start);
+        EXPECT_DOUBLE_EQ(obs::valueOf(delta, "cache.inserts"), 1.0);
+        EXPECT_DOUBLE_EQ(obs::valueOf(delta, "cache.hits"), 1.0);
+        EXPECT_DOUBLE_EQ(obs::valueOf(delta, "cache.misses"), 1.0);
+        EXPECT_GT(obs::valueOf(delta, "cache.bytes"), bytes0);
+        EXPECT_EQ(obs::valueOf(delta, "cache.entries"), entries0 + 1);
+    }
+    // The destroyed store returned its residency.
+    const obs::Snapshot after = obs::snapshot();
+    EXPECT_DOUBLE_EQ(obs::valueOf(after, "cache.bytes"), bytes0);
+    EXPECT_DOUBLE_EQ(obs::valueOf(after, "cache.entries"), entries0);
+}
+
+// --------------------------------------------------------------------
+// Span tracer
+// --------------------------------------------------------------------
+
+TEST(Trace, DisabledSpanDoesNotAllocate)
+{
+    if (obs::tracingEnabled())
+        GTEST_SKIP() << "QPAD_TRACE is set; disabled path not active";
+    const uint64_t before = g_allocs.load(std::memory_order_relaxed);
+    for (int i = 0; i < 1000; ++i) {
+        QPAD_SPAN("obs.test_disabled");
+    }
+    EXPECT_EQ(g_allocs.load(std::memory_order_relaxed), before);
+}
+
+TEST(Trace, StartIsExclusive)
+{
+    if (obs::tracingEnabled())
+        GTEST_SKIP() << "QPAD_TRACE is set; session already active";
+    const std::string path = tracePath("exclusive");
+    ASSERT_TRUE(obs::startTracing(path));
+    EXPECT_FALSE(obs::startTracing(path));
+    obs::stopTracing();
+}
+
+/** Parse the one-event-per-line trace the writer emits. */
+struct ParsedEvent
+{
+    std::string name;
+    char phase = '?';
+    int tid = -1;
+};
+
+std::vector<ParsedEvent>
+parseTrace(const std::string &path)
+{
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << "missing trace file " << path;
+    std::vector<ParsedEvent> events;
+    std::string line;
+    while (std::getline(in, line)) {
+        const auto name_at = line.find("\"name\":\"");
+        if (name_at == std::string::npos)
+            continue;
+        ParsedEvent e;
+        const auto name_begin = name_at + 8;
+        e.name = line.substr(name_begin,
+                             line.find('"', name_begin) - name_begin);
+        const auto ph_at = line.find("\"ph\":\"");
+        EXPECT_NE(ph_at, std::string::npos);
+        e.phase = line[ph_at + 6];
+        const auto tid_at = line.find("\"tid\":");
+        EXPECT_NE(tid_at, std::string::npos);
+        e.tid = std::atoi(line.c_str() + tid_at + 6);
+        events.push_back(e);
+    }
+    return events;
+}
+
+TEST(Trace, EventsBalanceAndNestPerThread)
+{
+    if (obs::tracingEnabled())
+        GTEST_SKIP() << "QPAD_TRACE is set; session already active";
+    const std::string path = tracePath("balance");
+    ASSERT_TRUE(obs::startTracing(path));
+    {
+        QPAD_SPAN("obs.test_outer");
+        {
+            QPAD_SPAN("obs.test_inner");
+        }
+    }
+    // Spans from several threads land in distinct tid streams.
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t)
+        threads.emplace_back([] {
+            QPAD_SPAN("obs.test_worker");
+            QPAD_SPAN("obs.test_worker_inner");
+        });
+    for (auto &t : threads)
+        t.join();
+    obs::stopTracing();
+
+    const std::vector<ParsedEvent> events = parseTrace(path);
+    // 2 main-thread spans + 2 spans x 4 threads, a B and an E each.
+    EXPECT_EQ(events.size(), 2u * (2u + 2u * 4u));
+
+    // Replay each tid's stream against a stack: every E must close
+    // the innermost open B of the same name, and every stream must
+    // end empty — proper nesting, not just balanced counts.
+    std::map<int, std::vector<std::string>> stacks;
+    for (const ParsedEvent &e : events) {
+        ASSERT_TRUE(e.phase == 'B' || e.phase == 'E') << e.phase;
+        auto &stack = stacks[e.tid];
+        if (e.phase == 'B') {
+            stack.push_back(e.name);
+        } else {
+            ASSERT_FALSE(stack.empty());
+            EXPECT_EQ(stack.back(), e.name);
+            stack.pop_back();
+        }
+    }
+    for (const auto &[tid, stack] : stacks)
+        EXPECT_TRUE(stack.empty()) << "unclosed span on tid " << tid;
+}
+
+TEST(Trace, FileIsStructurallyValidJson)
+{
+    if (obs::tracingEnabled())
+        GTEST_SKIP() << "QPAD_TRACE is set; session already active";
+    const std::string path = tracePath("valid_json");
+    ASSERT_TRUE(obs::startTracing(path));
+    {
+        QPAD_SPAN("obs.test_json");
+    }
+    obs::stopTracing();
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    const std::string text = buffer.str();
+    EXPECT_EQ(text.rfind("{\"displayTimeUnit\":\"ms\","
+                         "\"traceEvents\":[",
+                         0),
+              0u);
+    int braces = 0, brackets = 0;
+    for (char ch : text) {
+        braces += ch == '{';
+        braces -= ch == '}';
+        brackets += ch == '[';
+        brackets -= ch == ']';
+        EXPECT_GE(braces, 0);
+        EXPECT_GE(brackets, 0);
+    }
+    EXPECT_EQ(braces, 0);
+    EXPECT_EQ(brackets, 0);
+}
+
+TEST(Trace, SessionsDoNotLeakEventsIntoEachOther)
+{
+    if (obs::tracingEnabled())
+        GTEST_SKIP() << "QPAD_TRACE is set; session already active";
+    const std::string first = tracePath("first_session");
+    ASSERT_TRUE(obs::startTracing(first));
+    {
+        QPAD_SPAN("obs.test_first");
+    }
+    obs::stopTracing();
+
+    const std::string second = tracePath("second_session");
+    ASSERT_TRUE(obs::startTracing(second));
+    {
+        QPAD_SPAN("obs.test_second");
+    }
+    obs::stopTracing();
+
+    for (const ParsedEvent &e : parseTrace(second))
+        EXPECT_EQ(e.name, "obs.test_second");
+}
+
+// --------------------------------------------------------------------
+// Observability never perturbs results
+// --------------------------------------------------------------------
+
+TEST(Trace, YieldEstimateBitIdenticalTracedVsUntraced)
+{
+    if (obs::tracingEnabled())
+        GTEST_SKIP() << "QPAD_TRACE is set; session already active";
+    auto arch = arch::ibm16Q(true);
+    yield::YieldOptions opts;
+    opts.trials = 4000;
+    opts.sigma_ghz = 0.030;
+    opts.seed = 2020;
+    opts.collect_condition_stats = true;
+
+    const yield::YieldResult plain = yield::estimateYield(arch, opts);
+
+    ASSERT_TRUE(obs::startTracing(tracePath("bit_identity")));
+    const yield::YieldResult traced = yield::estimateYield(arch, opts);
+    obs::stopTracing();
+
+    EXPECT_EQ(traced.successes, plain.successes);
+    EXPECT_EQ(traced.trials, plain.trials);
+    EXPECT_EQ(traced.condition_trials, plain.condition_trials);
+    EXPECT_DOUBLE_EQ(traced.yield, plain.yield);
+}
+
+} // namespace
