@@ -51,8 +51,15 @@ struct Coord
     std::string
     str() const
     {
-        return "(" + std::to_string(row) + "," + std::to_string(col) +
-               ")";
+        // Built by append rather than operator+ chaining: GCC 12's
+        // -Wrestrict misfires on the chained form (PR 105651), and
+        // CI builds with -Werror.
+        std::string s = "(";
+        s += std::to_string(row);
+        s += ',';
+        s += std::to_string(col);
+        s += ')';
+        return s;
     }
 };
 

@@ -147,12 +147,16 @@ Store::get(const Fingerprint &key, std::vector<uint8_t> &value)
     std::lock_guard<std::mutex> lock(shard.mutex);
     auto it = shard.map.find(key);
     if (it == shard.map.end()) {
+        // qpad-lint: allow(atomic-relaxed) "monotonic stat counter;
+        // never synchronizes data"
         misses_.fetch_add(1, std::memory_order_relaxed);
         missMetric().add();
         return false;
     }
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
     value = it->second->value;
+    // qpad-lint: allow(atomic-relaxed) "monotonic stat counter;
+    // never synchronizes data"
     hits_.fetch_add(1, std::memory_order_relaxed);
     hitMetric().add();
     return true;
@@ -194,6 +198,8 @@ Store::putInMemory(const Fingerprint &key,
         shard.bytes -= entryBytes(victim.value);
         shard.map.erase(victim.key);
         shard.lru.pop_back();
+        // qpad-lint: allow(atomic-relaxed) "monotonic stat counter;
+        // never synchronizes data"
         evictions_.fetch_add(1, std::memory_order_relaxed);
         ++evicted;
     }
@@ -207,6 +213,8 @@ void
 Store::put(const Fingerprint &key, const std::vector<uint8_t> &value)
 {
     putInMemory(key, value);
+    // qpad-lint: allow(atomic-relaxed) "monotonic stat counter;
+    // never synchronizes data"
     inserts_.fetch_add(1, std::memory_order_relaxed);
     insertMetric().add();
     appendRecord(key, value);
@@ -229,9 +237,17 @@ StoreStats
 Store::stats() const
 {
     StoreStats s;
+    // qpad-lint: allow(atomic-relaxed) "stat snapshot; approximate
+    // reads are fine and no data is published through them"
     s.hits = hits_.load(std::memory_order_relaxed);
+    // qpad-lint: allow(atomic-relaxed) "stat snapshot; approximate
+    // reads are fine and no data is published through them"
     s.misses = misses_.load(std::memory_order_relaxed);
+    // qpad-lint: allow(atomic-relaxed) "stat snapshot; approximate
+    // reads are fine and no data is published through them"
     s.inserts = inserts_.load(std::memory_order_relaxed);
+    // qpad-lint: allow(atomic-relaxed) "stat snapshot; approximate
+    // reads are fine and no data is published through them"
     s.evictions = evictions_.load(std::memory_order_relaxed);
     s.disk_loaded = disk_loaded_;
     s.disk_dropped = disk_dropped_;

@@ -124,14 +124,18 @@ annealChain(const profile::CouplingProfile &profile,
             }
         } else {
             // Relocate q to a random empty node adjacent to the
-            // blob; reject moves that break contiguity.
+            // blob; reject moves that break contiguity. The frontier
+            // is built from `coords` in qubit-index order, NOT by
+            // iterating `occupied`: rng.below() indexes into it, so
+            // its element order is part of the seeded draw contract
+            // and must not depend on hash-bucket order. (Same
+            // multiset either way — coords and occupied's keys are
+            // the same nodes — so move probabilities are unchanged.)
             std::vector<Coord> frontier;
-            for (const auto &[node, who] : occupied) {
-                (void)who;
+            for (const Coord &node : coords)
                 for (const Coord &nb : lattice4(node))
                     if (!occupied.count(nb))
                         frontier.push_back(nb);
-            }
             if (frontier.empty())
                 continue;
             Coord to = frontier[rng.below(frontier.size())];

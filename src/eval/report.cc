@@ -44,8 +44,13 @@ namespace
 std::string
 yieldCell(const DataPoint &p)
 {
-    if (p.yield == 0.0 && p.yield_trials > 0)
-        return "<" + formatYield(1.0 / double(p.yield_trials));
+    if (p.yield == 0.0 && p.yield_trials > 0) {
+        // Append instead of "<" + ...: GCC 12's -Wrestrict misfires
+        // on the operator+ form (PR 105651) under -Werror.
+        std::string s = "<";
+        s += formatYield(1.0 / double(p.yield_trials));
+        return s;
+    }
     return formatYield(p.yield);
 }
 

@@ -61,7 +61,11 @@ class ChunkDeque
     void reset(std::vector<std::size_t> items)
     {
         items_ = std::move(items);
+        // qpad-lint: allow(atomic-relaxed) "reset happens-before any
+        // take/steal via the pool's slot mutexes (see contract above)"
         top_.store(0, std::memory_order_relaxed);
+        // qpad-lint: allow(atomic-relaxed) "same publication contract
+        // as the top_ reset store"
         bottom_.store(std::ptrdiff_t(items_.size()),
                       std::memory_order_relaxed);
     }
@@ -69,6 +73,8 @@ class ChunkDeque
     /** Owner-only pop from the back; kEmpty when drained. */
     std::size_t take()
     {
+        // qpad-lint: allow(atomic-relaxed) "owner-only read of the
+        // owner-only index; the seq_cst store below publishes it"
         std::ptrdiff_t b =
             bottom_.load(std::memory_order_relaxed) - 1;
         // The seq_cst store/load pair replaces the classic
@@ -82,14 +88,20 @@ class ChunkDeque
         if (t == b) {
             // Last item: race the thieves for it.
             std::size_t item = items_[std::size_t(b)];
+            // qpad-lint: allow(atomic-relaxed) "CAS failure order:
+            // a lost race consumes no data, we only restore bottom_"
             if (!top_.compare_exchange_strong(
                     t, t + 1, std::memory_order_seq_cst,
                     std::memory_order_relaxed))
                 item = kEmpty; // a thief got there first
+            // qpad-lint: allow(atomic-relaxed) "owner-only undo
+            // store; the seq_cst store above orders it for thieves"
             bottom_.store(b + 1, std::memory_order_relaxed);
             return item;
         }
         // Already empty; undo the reservation.
+        // qpad-lint: allow(atomic-relaxed) "owner-only undo
+        // store; the seq_cst store above orders it for thieves"
         bottom_.store(b + 1, std::memory_order_relaxed);
         return kEmpty;
     }
@@ -106,6 +118,8 @@ class ChunkDeque
         // items_ is immutable: a stale read is simply discarded when
         // the CAS fails.
         std::size_t item = items_[std::size_t(t)];
+        // qpad-lint: allow(atomic-relaxed) "CAS failure order: a
+        // failed steal discards the slot read and returns kAbort"
         if (!top_.compare_exchange_strong(t, t + 1,
                                           std::memory_order_seq_cst,
                                           std::memory_order_relaxed))

@@ -20,6 +20,8 @@ using clock = std::chrono::steady_clock;
 double
 secondsSince(clock::time_point t0)
 {
+    // qpad-lint: allow(no-wallclock) "idle/duration accounting only;
+    // feeds metrics and never steers scheduling or results"
     return std::chrono::duration<double>(clock::now() - t0).count();
 }
 
@@ -63,6 +65,8 @@ RegionState::loadDeque(std::size_t id, std::vector<std::size_t> items)
 void
 RegionState::helperEntry()
 {
+    // qpad-lint: allow(atomic-relaxed) "slot ticket only; the deque
+    // contents were published before dispatch via the pool mutexes"
     const std::size_t id =
         next_runner_.fetch_add(1, std::memory_order_relaxed);
     if (id >= runners_)
@@ -78,15 +82,21 @@ RegionState::runAs(std::size_t id)
     for (;;) {
         std::size_t c = deques_[id]->take();
         if (c == ChunkDeque::kEmpty) {
+            // qpad-lint: allow(no-wallclock) "idle-time accounting
+            // for runtime.region_idle_seconds; observability only"
             const auto idle_begin = clock::now();
             c = stealLoop(id, rng_state);
             idle_ns += uint64_t(secondsSince(idle_begin) * 1e9);
             if (c == ChunkDeque::kEmpty)
                 break; // no unclaimed chunk anywhere
+            // qpad-lint: allow(atomic-relaxed) "monotonic stat
+            // counter; never synchronizes data"
             steals_.fetch_add(1, std::memory_order_relaxed);
         }
         // After a failure the remaining chunks are claimed but
         // skipped, so pending_ still drains and waiters wake.
+        // qpad-lint: allow(atomic-relaxed) "best-effort skip flag;
+        // the error itself is published under error_mutex_"
         if (!failed_.load(std::memory_order_relaxed)) {
             try {
                 run_chunk_(c);
@@ -94,6 +104,8 @@ RegionState::runAs(std::size_t id)
                 recordError();
             }
         }
+        // qpad-lint: allow(atomic-relaxed) "per-runner stat counter;
+        // read only after pending_ acq/rel orders the region done"
         claimed_[id].fetch_add(1, std::memory_order_relaxed);
         finishChunk();
     }
@@ -151,7 +163,11 @@ void
 RegionState::recordIdle(double seconds)
 {
     const uint64_t ns = uint64_t(seconds * 1e9);
+    // qpad-lint: allow(atomic-relaxed) "stat max; value is only a
+    // metric and carries no payload"
     uint64_t seen = max_idle_ns_.load(std::memory_order_relaxed);
+    // qpad-lint: allow(atomic-relaxed) "stat max CAS; same contract
+    // as the load above"
     while (seen < ns &&
            !max_idle_ns_.compare_exchange_weak(
                seen, ns, std::memory_order_relaxed))
@@ -166,6 +182,8 @@ RegionState::recordError()
         if (!error_)
             error_ = std::current_exception();
     }
+    // qpad-lint: allow(atomic-relaxed) "best-effort skip hint; the
+    // exception is published under error_mutex_ above"
     failed_.store(true, std::memory_order_relaxed);
 }
 
@@ -174,11 +192,17 @@ RegionState::collectStats(RegionStats &out) const
 {
     out.threads = runners_;
     out.chunks = 0;
+    // qpad-lint: allow(atomic-relaxed) "stat read; waitDone's
+    // acquire on pending_ already ordered all runner writes"
     out.steals = steals_.load(std::memory_order_relaxed);
+    // qpad-lint: allow(atomic-relaxed) "stat read; same ordering
+    // argument as steals_ above"
     out.max_idle_seconds =
         double(max_idle_ns_.load(std::memory_order_relaxed)) * 1e-9;
     out.chunks_per_runner.assign(runners_, 0);
     for (std::size_t i = 0; i < runners_; ++i) {
+        // qpad-lint: allow(atomic-relaxed) "stat read; same ordering
+        // argument as steals_ above"
         out.chunks_per_runner[i] =
             claimed_[i].load(std::memory_order_relaxed);
         out.chunks += out.chunks_per_runner[i];
@@ -210,6 +234,8 @@ runRegion(std::size_t chunks, std::size_t threads, bool guided,
     qpad_assert(threads >= 2 && threads <= chunks,
                 "runRegion caller must pre-clamp the runner count");
     QPAD_SPAN("runtime.region");
+    // qpad-lint: allow(no-wallclock) "region duration metric only;
+    // never steers scheduling or results"
     const auto region_begin = clock::now();
     auto region = std::make_shared<RegionState>(threads, chunks,
                                                 std::move(run_chunk));
@@ -249,6 +275,8 @@ runRegion(std::size_t chunks, std::size_t threads, bool guided,
     // execution instead of a blocked cycle.
     ThreadPool::global().dispatchRegion(region, threads - 1);
     region->runAs(0);
+    // qpad-lint: allow(no-wallclock) "caller wait time feeds the
+    // idle metric only"
     const auto wait_begin = std::chrono::steady_clock::now();
     region->waitDone();
     region->recordIdle(secondsSince(wait_begin));

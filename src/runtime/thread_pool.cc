@@ -51,9 +51,13 @@ ThreadPool::enqueueOn(std::size_t worker, Item item)
     bool target_sleeping;
     {
         std::lock_guard<std::mutex> lock(slot.mutex);
+        // qpad-lint: allow(atomic-relaxed) "assert-only read; the
+        // destructor's seq_cst store makes a true value stick"
         qpad_assert(!stopping_.load(std::memory_order_relaxed),
                     "enqueue on a stopping ThreadPool");
         slot.queue.push_back(std::move(item));
+        // qpad-lint: allow(atomic-relaxed) "counter is ordered by the
+        // slot mutex held here; see the pairing note below"
         queued_.fetch_add(1, std::memory_order_relaxed);
         target_sleeping = slot.sleeping;
     }
@@ -95,11 +99,15 @@ ThreadPool::submit(std::function<void()> task)
     // slot wakeup runs the task immediately instead of queueing it
     // behind someone's long-running item.
     const std::size_t n = slots_.size();
+    // qpad-lint: allow(atomic-relaxed) "placement hint only; any
+    // interleaving of tickets spreads load acceptably"
     const std::size_t start =
         round_robin_.fetch_add(1, std::memory_order_relaxed) % n;
     std::size_t target = start;
     for (std::size_t k = 0; k < n; ++k) {
         const std::size_t w = (start + k) % n;
+        // qpad-lint: allow(atomic-relaxed) "placement hint only; a
+        // stale busy flag just queues behind a running item"
         if (!slots_[w]->busy.load(std::memory_order_relaxed)) {
             target = w;
             break;
@@ -115,6 +123,8 @@ ThreadPool::dispatchRegion(std::shared_ptr<detail::RegionState> region,
 {
     const std::size_t n = slots_.size();
     const bool on_worker = t_pool == this;
+    // qpad-lint: allow(atomic-relaxed) "placement hint only; any
+    // interleaving of tickets spreads load acceptably"
     const std::size_t start =
         round_robin_.fetch_add(1, std::memory_order_relaxed) % n;
     // Build the target order from ONE snapshot of the busy flags —
@@ -131,6 +141,8 @@ ThreadPool::dispatchRegion(std::shared_ptr<detail::RegionState> region,
         const std::size_t w = (start + k) % n;
         if (on_worker && w == t_worker)
             continue;
+        // qpad-lint: allow(atomic-relaxed) "placement hint only; a
+        // stale busy flag just reorders the offer list"
         if (slots_[w]->busy.load(std::memory_order_relaxed))
             busy_targets.push_back(w);
         else
@@ -154,6 +166,8 @@ ThreadPool::popOwn(std::size_t worker, Item &out)
         return false;
     out = std::move(slot.queue.front());
     slot.queue.pop_front();
+    // qpad-lint: allow(atomic-relaxed) "counter is ordered by the
+    // slot mutex held here; see enqueueOn's pairing note"
     queued_.fetch_sub(1, std::memory_order_relaxed);
     return true;
 }
@@ -171,6 +185,8 @@ ThreadPool::stealOther(std::size_t worker, Item &out)
         // items soonest, so the head has waited the longest.
         out = std::move(victim.queue.front());
         victim.queue.pop_front();
+        // qpad-lint: allow(atomic-relaxed) "counter is ordered by the
+        // victim's mutex held here; see enqueueOn's pairing note"
         queued_.fetch_sub(1, std::memory_order_relaxed);
         return true;
     }
@@ -195,12 +211,18 @@ ThreadPool::workerLoop(std::size_t worker)
     for (;;) {
         Item item;
         if (popOwn(worker, item) || stealOther(worker, item)) {
+            // qpad-lint: allow(atomic-relaxed) "busy is a placement
+            // hint; readers tolerate any staleness"
             own.busy.store(true, std::memory_order_relaxed);
             runItem(item);
+            // qpad-lint: allow(atomic-relaxed) "busy is a placement
+            // hint; readers tolerate any staleness"
             own.busy.store(false, std::memory_order_relaxed);
             continue;
         }
         std::unique_lock<std::mutex> lock(own.mutex);
+        // qpad-lint: allow(atomic-relaxed) "own.mutex is held; the
+        // destructor stores stopping_ then notifies under it"
         if (stopping_.load(std::memory_order_relaxed) &&
             own.queue.empty())
             return; // own slot drained; siblings drain their own
@@ -210,6 +232,8 @@ ThreadPool::workerLoop(std::size_t worker)
         // enqueueOn for the pairing).
         own.sleeping = true;
         own.cv.wait(lock, [this, &own] {
+            // qpad-lint: allow(atomic-relaxed) "predicate runs under
+            // own.mutex; notifiers store/notify under a slot mutex"
             return stopping_.load(std::memory_order_relaxed) ||
                    !own.queue.empty() ||
                    queued_.load(std::memory_order_relaxed) > 0;

@@ -89,9 +89,10 @@ TEST(GaussBlock, LanesAreChildStreamsNearLibmBoxMuller)
             const double rad = std::sqrt(-2.0 * std::log(u1));
             const double theta = 2.0 * 3.14159265358979323846 * u2;
             ASSERT_NEAR(out[r * B + l], rad * std::cos(theta), 1e-13);
-            if (r + 1 < rows)
+            if (r + 1 < rows) {
                 ASSERT_NEAR(out[(r + 1) * B + l],
                             rad * std::sin(theta), 1e-13);
+            }
         }
     }
 }

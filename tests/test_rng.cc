@@ -75,7 +75,7 @@ TEST(Rng, UniformRangeStaysBelowHiAtExtremeMagnitudes)
         // hi - lo overflows to +inf.
         {-1e308, 1e308},
         // Huge same-sign endpoints one ulp apart.
-        {1e308, std::nextafter(1e308, 2e308)},
+        {1e308, std::nextafter(1e308, HUGE_VAL)},
     };
     for (const auto &c : cases) {
         for (int i = 0; i < 20000; ++i) {

@@ -427,6 +427,8 @@ TEST(WakeupLatency, SmallRegionsCompleteWithoutMillisecondStalls)
     // region's completion in the microsecond range.
     const int regions = 300;
     std::atomic<std::size_t> sum{0};
+    // qpad-lint: allow(no-wallclock) "wakeup-latency regression
+    // bound; timing never affects computed results"
     const auto t0 = std::chrono::steady_clock::now();
     for (int r = 0; r < regions; ++r) {
         runtime::parallel_for(
@@ -435,6 +437,8 @@ TEST(WakeupLatency, SmallRegionsCompleteWithoutMillisecondStalls)
                 sum += begin;
             });
     }
+    // qpad-lint: allow(no-wallclock) "wakeup-latency regression
+    // bound; timing never affects computed results"
     const double elapsed =
         std::chrono::duration<double>(
             std::chrono::steady_clock::now() - t0)
@@ -448,9 +452,13 @@ TEST(WakeupLatency, SingleSubmittedTaskCompletesPromptly)
 {
     ThreadPool pool(2);
     const int tasks = 100;
+    // qpad-lint: allow(no-wallclock) "wakeup-latency regression
+    // bound; timing never affects computed results"
     const auto t0 = std::chrono::steady_clock::now();
     for (int i = 0; i < tasks; ++i)
         pool.submit([] {}).get();
+    // qpad-lint: allow(no-wallclock) "wakeup-latency regression
+    // bound; timing never affects computed results"
     const double elapsed =
         std::chrono::duration<double>(
             std::chrono::steady_clock::now() - t0)

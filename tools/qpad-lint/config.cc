@@ -1,0 +1,200 @@
+#include "config.hh"
+
+#include <cctype>
+
+namespace qlint
+{
+
+namespace
+{
+
+std::string
+trim(std::string_view s)
+{
+    std::size_t b = 0, e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return std::string(s.substr(b, e - b));
+}
+
+/** Strip a # comment that is not inside a quoted string. */
+std::string
+stripComment(std::string_view line)
+{
+    bool in_string = false;
+    for (std::size_t i = 0; i < line.size(); ++i) {
+        const char c = line[i];
+        if (c == '"' && (i == 0 || line[i - 1] != '\\'))
+            in_string = !in_string;
+        else if (c == '#' && !in_string)
+            return std::string(line.substr(0, i));
+    }
+    return std::string(line);
+}
+
+/** Parse the quoted strings out of `text` (one value or an array). */
+bool
+parseStrings(std::string_view text, std::vector<std::string> &out)
+{
+    bool saw_any = false;
+    std::size_t i = 0;
+    while (i < text.size()) {
+        const char c = text[i];
+        if (c == '"') {
+            std::size_t j = i + 1;
+            std::string v;
+            while (j < text.size() && text[j] != '"') {
+                if (text[j] == '\\' && j + 1 < text.size())
+                    ++j;
+                v += text[j];
+                ++j;
+            }
+            if (j >= text.size())
+                return false; // unterminated
+            out.push_back(std::move(v));
+            saw_any = true;
+            i = j + 1;
+            continue;
+        }
+        if (c == '[' || c == ']' || c == ',' ||
+            std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+            continue;
+        }
+        return false; // bare word — not part of the subset
+    }
+    return saw_any;
+}
+
+bool
+startsWith(const std::string &s, const std::string &prefix)
+{
+    return s.size() >= prefix.size() &&
+           s.compare(0, prefix.size(), prefix) == 0;
+}
+
+} // namespace
+
+bool
+Config::appliesTo(const std::string &rule, const std::string &path) const
+{
+    auto it = rules.find(rule);
+    if (it == rules.end())
+        return false;
+    const RulePolicy &p = it->second;
+    bool included = p.include.empty();
+    for (const std::string &pre : p.include)
+        included = included || startsWith(path, pre);
+    if (!included)
+        return false;
+    for (const std::string &pre : p.exclude)
+        if (startsWith(path, pre))
+            return false;
+    return true;
+}
+
+Config
+parseConfig(std::string_view text)
+{
+    Config cfg;
+    std::string section;
+    std::string pending_key;  // set while an array spans lines
+    std::string pending_value;
+    int line_no = 0;
+
+    auto fail = [&](const std::string &why) {
+        cfg.ok = false;
+        cfg.error =
+            "config line " + std::to_string(line_no) + ": " + why;
+        return cfg;
+    };
+
+    auto commit = [&](const std::string &key,
+                      const std::string &value) -> bool {
+        std::vector<std::string> values;
+        if (!parseStrings(value, values))
+            return false;
+        if (section == "lint" && key == "roots")
+            cfg.roots = values;
+        else if (section == "lint" && key == "extensions")
+            cfg.extensions = values;
+        else if (section == "rng" && key == "sanctioned")
+            cfg.sanctioned = values;
+        else if (startsWith(section, "rule.")) {
+            RulePolicy &p = cfg.rules[section.substr(5)];
+            if (key == "include")
+                p.include = values;
+            else if (key == "exclude")
+                p.exclude = values;
+            else
+                return false;
+        } else {
+            return false; // unknown section/key: fail loudly
+        }
+        return true;
+    };
+
+    std::size_t pos = 0;
+    while (pos <= text.size()) {
+        const std::size_t nl = text.find('\n', pos);
+        const std::string_view raw = text.substr(
+            pos, nl == std::string_view::npos ? text.size() - pos
+                                              : nl - pos);
+        pos = nl == std::string_view::npos ? text.size() + 1 : nl + 1;
+        ++line_no;
+        const std::string line = trim(stripComment(raw));
+
+        if (!pending_key.empty()) {
+            pending_value += " " + line;
+            if (line.find(']') == std::string::npos)
+                continue;
+            if (!commit(pending_key, pending_value))
+                return fail("bad value for '" + pending_key + "'");
+            pending_key.clear();
+            pending_value.clear();
+            continue;
+        }
+        if (line.empty())
+            continue;
+        if (line.front() == '[') {
+            if (line.back() != ']')
+                return fail("malformed section header");
+            section = trim(line.substr(1, line.size() - 2));
+            if (section.empty())
+                return fail("empty section name");
+            // Register the rule even if the section body is empty, so
+            // an include-everything policy is just "[rule.x]".
+            if (startsWith(section, "rule."))
+                cfg.rules[section.substr(5)];
+            continue;
+        }
+        const std::size_t eq = line.find('=');
+        if (eq == std::string::npos)
+            return fail("expected 'key = value'");
+        const std::string key = trim(line.substr(0, eq));
+        const std::string value = trim(line.substr(eq + 1));
+        if (key.empty())
+            return fail("empty key");
+        // A multi-line array: opening [ without the closing ].
+        if (value.find('[') != std::string::npos &&
+            value.find(']') == std::string::npos) {
+            pending_key = key;
+            pending_value = value;
+            continue;
+        }
+        if (!commit(key, value))
+            return fail("bad value for '" + key + "'");
+    }
+    if (!pending_key.empty())
+        return fail("unterminated array for '" + pending_key + "'");
+    if (cfg.roots.empty())
+        return fail("[lint] roots is required");
+    if (cfg.extensions.empty())
+        return fail("[lint] extensions is required");
+    cfg.ok = true;
+    return cfg;
+}
+
+} // namespace qlint

@@ -1,0 +1,195 @@
+#include "lexer.hh"
+
+#include <cctype>
+
+namespace qlint
+{
+
+namespace
+{
+
+bool
+identStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+identChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+} // namespace
+
+LexResult
+lex(std::string_view s)
+{
+    LexResult r;
+    const std::size_t n = s.size();
+    std::size_t i = 0;
+    int line = 1;
+    bool code_on_line = false;
+
+    auto push = [&](Tok kind, std::string text, int at) {
+        r.tokens.push_back(Token{kind, std::move(text), at});
+        code_on_line = true;
+    };
+
+    while (i < n) {
+        const char c = s[i];
+        if (c == '\n') {
+            ++line;
+            code_on_line = false;
+            ++i;
+            continue;
+        }
+        if (c == ' ' || c == '\t' || c == '\r' || c == '\v' ||
+            c == '\f') {
+            ++i;
+            continue;
+        }
+
+        // Line comment.
+        if (c == '/' && i + 1 < n && s[i + 1] == '/') {
+            std::size_t j = i + 2;
+            while (j < n && s[j] != '\n')
+                ++j;
+            r.comments.push_back(Comment{
+                std::string(s.substr(i + 2, j - i - 2)), line, line,
+                code_on_line});
+            i = j;
+            continue;
+        }
+
+        // Block comment (C++ block comments do not nest).
+        if (c == '/' && i + 1 < n && s[i + 1] == '*') {
+            const int start = line;
+            const bool before = code_on_line;
+            std::size_t j = i + 2;
+            while (j < n && !(j + 1 < n && s[j] == '*' &&
+                              s[j + 1] == '/')) {
+                if (s[j] == '\n')
+                    ++line;
+                ++j;
+            }
+            std::string text(s.substr(i + 2, j - i - 2));
+            if (j < n)
+                j += 2; // consume the terminator
+            r.comments.push_back(
+                Comment{std::move(text), start, line, before});
+            i = j;
+            continue;
+        }
+
+        // Raw string literal, with optional encoding prefix:
+        // R"delim( ... )delim". Must be checked before plain
+        // identifiers, since the prefix lexes like one.
+        if (identStart(c)) {
+            std::size_t p = i;
+            if (s[p] == 'u' && p + 1 < n && s[p + 1] == '8')
+                p += 2;
+            else if (s[p] == 'u' || s[p] == 'U' || s[p] == 'L')
+                p += 1;
+            if (p < n && s[p] == 'R' && p + 1 < n && s[p + 1] == '"') {
+                std::size_t d = p + 2;
+                while (d < n && s[d] != '(' && s[d] != '\n')
+                    ++d;
+                if (d < n && s[d] == '(') {
+                    const std::string delim(s.substr(p + 2, d - p - 2));
+                    const std::string close = ")" + delim + "\"";
+                    const int start = line;
+                    std::size_t e = s.find(close, d + 1);
+                    if (e == std::string_view::npos)
+                        e = n;
+                    std::string body(s.substr(d + 1, e - d - 1));
+                    for (char ch : body)
+                        if (ch == '\n')
+                            ++line;
+                    push(Tok::kString, std::move(body), start);
+                    i = e == n ? n : e + close.size();
+                    continue;
+                }
+            }
+        }
+
+        // Identifier.
+        if (identStart(c)) {
+            std::size_t j = i + 1;
+            while (j < n && identChar(s[j]))
+                ++j;
+            push(Tok::kIdent, std::string(s.substr(i, j - i)), line);
+            i = j;
+            continue;
+        }
+
+        // Number: pp-number rules, loosely — digits, letters, dots,
+        // digit separators, and exponent signs. A leading dot counts
+        // when followed by a digit.
+        if (std::isdigit(static_cast<unsigned char>(c)) ||
+            (c == '.' && i + 1 < n &&
+             std::isdigit(static_cast<unsigned char>(s[i + 1])))) {
+            std::size_t j = i;
+            while (j < n) {
+                const char d = s[j];
+                if (std::isalnum(static_cast<unsigned char>(d)) ||
+                    d == '.') {
+                    ++j;
+                    continue;
+                }
+                // Digit separator, only between alnums.
+                if (d == '\'' && j + 1 < n &&
+                    std::isalnum(static_cast<unsigned char>(s[j + 1]))) {
+                    ++j;
+                    continue;
+                }
+                // Exponent sign after e/E/p/P.
+                if ((d == '+' || d == '-') && j > i &&
+                    (s[j - 1] == 'e' || s[j - 1] == 'E' ||
+                     s[j - 1] == 'p' || s[j - 1] == 'P')) {
+                    ++j;
+                    continue;
+                }
+                break;
+            }
+            push(Tok::kNumber, std::string(s.substr(i, j - i)), line);
+            i = j;
+            continue;
+        }
+
+        // String / char literal with escapes. Unterminated literals
+        // stop at end of line so one typo cannot swallow the file.
+        if (c == '"' || c == '\'') {
+            const char quote = c;
+            std::size_t j = i + 1;
+            while (j < n && s[j] != quote && s[j] != '\n') {
+                if (s[j] == '\\' && j + 1 < n)
+                    ++j;
+                ++j;
+            }
+            std::string body(s.substr(i + 1, j - i - 1));
+            push(quote == '"' ? Tok::kString : Tok::kChar,
+                 std::move(body), line);
+            i = j < n && s[j] == quote ? j + 1 : j;
+            continue;
+        }
+
+        // Punctuation; "::" and "->" are combined because the rules
+        // match on them constantly.
+        if (c == ':' && i + 1 < n && s[i + 1] == ':') {
+            push(Tok::kPunct, "::", line);
+            i += 2;
+            continue;
+        }
+        if (c == '-' && i + 1 < n && s[i + 1] == '>') {
+            push(Tok::kPunct, "->", line);
+            i += 2;
+            continue;
+        }
+        push(Tok::kPunct, std::string(1, c), line);
+        ++i;
+    }
+    return r;
+}
+
+} // namespace qlint

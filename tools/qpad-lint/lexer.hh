@@ -1,0 +1,67 @@
+/**
+ * @file
+ * C++ token stream for qpad-lint.
+ *
+ * The rule engine must never fire on text inside comments, string or
+ * character literals, or raw strings — `// never call std::rand()`
+ * is documentation, not a violation. Regex-over-text scanners get
+ * exactly this wrong, so qpad-lint lexes each translation unit into
+ * a real token stream first: identifiers, numbers, string/char
+ * literals (with escapes and raw-string delimiters handled), and
+ * punctuation, each tagged with its source line. Comments are
+ * collected on a side channel because they carry the inline
+ * suppression syntax (`// qpad-lint: allow(<rule>) "justification"`).
+ *
+ * This is a lexer, not a parser: no preprocessing, no template
+ * disambiguation. The rules are written against token *patterns*
+ * (e.g. ident `.load` `(` ... `)` without a `memory_order` ident),
+ * which is exactly the precision the repo's invariants need.
+ */
+
+#ifndef QPAD_LINT_LEXER_HH
+#define QPAD_LINT_LEXER_HH
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace qlint
+{
+
+enum class Tok
+{
+    kIdent,
+    kNumber,
+    kString, // text = contents between the quotes, escapes unprocessed
+    kChar,   // text = contents between the quotes
+    kPunct,  // single char, except the combined "::" and "->" tokens
+};
+
+struct Token
+{
+    Tok kind;
+    std::string text;
+    int line; // 1-based line of the token's first character
+};
+
+/** A comment, kept separate from the token stream. */
+struct Comment
+{
+    std::string text; // without the // or /* */ markers
+    int line;         // line the comment starts on
+    int end_line;     // line the comment ends on (== line for //)
+    bool code_before; // a token started earlier on the same line
+};
+
+struct LexResult
+{
+    std::vector<Token> tokens;
+    std::vector<Comment> comments;
+};
+
+/** Lex `src`. Never fails: malformed trailing literals are kept as-is. */
+LexResult lex(std::string_view src);
+
+} // namespace qlint
+
+#endif // QPAD_LINT_LEXER_HH

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * qpad-lint driver: walk the configured roots, analyze every source
+ * file, and report.
+ *
+ *   qpad-lint --config tools/qpad-lint/qpad_lint.toml [--repo DIR]
+ *             [--json] [--suppressions] [--all]
+ *
+ * Exit codes: 0 = clean (all findings suppressed with justification),
+ * 1 = unsuppressed findings, 2 = usage / config / IO error.
+ *
+ * `--suppressions` prints the suppression inventory (file, rule,
+ * justification — deliberately without line numbers, so unrelated
+ * edits do not churn it); CI diffs it against the checked-in
+ * baseline so a new suppression is a reviewed event, not a drive-by.
+ */
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "config.hh"
+#include "rules.hh"
+
+namespace fs = std::filesystem;
+
+namespace
+{
+
+bool
+hasExtension(const fs::path &p,
+             const std::vector<std::string> &exts)
+{
+    const std::string e = p.extension().string();
+    return std::find(exts.begin(), exts.end(), e) != exts.end();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string config_path;
+    std::string repo = ".";
+    bool json = false, inventory = false, show_all = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--config" && i + 1 < argc)
+            config_path = argv[++i];
+        else if (arg == "--repo" && i + 1 < argc)
+            repo = argv[++i];
+        else if (arg == "--json")
+            json = true;
+        else if (arg == "--suppressions")
+            inventory = true;
+        else if (arg == "--all")
+            show_all = true;
+        else {
+            std::cerr << "qpad-lint: unknown argument '" << arg
+                      << "'\nusage: qpad-lint --config FILE "
+                         "[--repo DIR] [--json] [--suppressions] "
+                         "[--all]\n";
+            return 2;
+        }
+    }
+    if (config_path.empty()) {
+        std::cerr << "qpad-lint: --config is required\n";
+        return 2;
+    }
+
+    std::ifstream cf(config_path);
+    if (!cf) {
+        std::cerr << "qpad-lint: cannot open config '" << config_path
+                  << "'\n";
+        return 2;
+    }
+    std::stringstream cbuf;
+    cbuf << cf.rdbuf();
+    const qlint::Config cfg = qlint::parseConfig(cbuf.str());
+    if (!cfg.ok) {
+        std::cerr << "qpad-lint: " << cfg.error << "\n";
+        return 2;
+    }
+
+    // Collect files, sorted, so output order is deterministic no
+    // matter what the directory iterator returns.
+    std::vector<std::string> files;
+    for (const std::string &root : cfg.roots) {
+        const fs::path dir = fs::path(repo) / root;
+        if (!fs::exists(dir)) {
+            std::cerr << "qpad-lint: root '" << dir.string()
+                      << "' does not exist\n";
+            return 2;
+        }
+        for (const auto &entry :
+             fs::recursive_directory_iterator(dir)) {
+            if (!entry.is_regular_file())
+                continue;
+            if (!hasExtension(entry.path(), cfg.extensions))
+                continue;
+            files.push_back(
+                fs::relative(entry.path(), repo).generic_string());
+        }
+    }
+    std::sort(files.begin(), files.end());
+
+    std::vector<qlint::Finding> findings;
+    std::vector<qlint::SuppressionRecord> suppressions;
+    for (const std::string &rel : files) {
+        std::ifstream in(fs::path(repo) / rel, std::ios::binary);
+        if (!in) {
+            std::cerr << "qpad-lint: cannot read '" << rel << "'\n";
+            return 2;
+        }
+        std::stringstream buf;
+        buf << in.rdbuf();
+        qlint::FileReport rep =
+            qlint::analyzeFile(rel, buf.str(), cfg);
+        findings.insert(findings.end(), rep.findings.begin(),
+                        rep.findings.end());
+        suppressions.insert(suppressions.end(),
+                            rep.suppressions.begin(),
+                            rep.suppressions.end());
+    }
+
+    std::size_t unsuppressed = 0;
+    for (const qlint::Finding &f : findings)
+        if (!f.suppressed)
+            ++unsuppressed;
+
+    if (inventory) {
+        std::vector<std::string> lines;
+        for (const qlint::SuppressionRecord &s : suppressions)
+            lines.push_back(s.file + "\t" + s.rule + "\t\"" +
+                            s.justification + "\"");
+        std::sort(lines.begin(), lines.end());
+        for (const std::string &l : lines)
+            std::cout << l << "\n";
+        return unsuppressed > 0 ? 1 : 0;
+    }
+
+    if (json) {
+        std::cout << qlint::renderJson(findings, files.size(),
+                                       suppressions.size());
+        return unsuppressed > 0 ? 1 : 0;
+    }
+
+    for (const qlint::Finding &f : findings) {
+        if (f.suppressed && !show_all)
+            continue;
+        std::cout << f.file << ":" << f.line << ": [" << f.rule
+                  << "] " << f.message;
+        if (f.suppressed)
+            std::cout << " (suppressed: \"" << f.justification
+                      << "\")";
+        std::cout << "\n";
+    }
+    std::cout << "qpad-lint: " << files.size() << " files, "
+              << findings.size() << " findings ("
+              << findings.size() - unsuppressed << " suppressed, "
+              << unsuppressed << " unsuppressed)\n";
+    return unsuppressed > 0 ? 1 : 0;
+}
