@@ -12,6 +12,13 @@
  * QPAD_FAST flags other than 0/1) abort with a message instead of
  * being silently coerced into a surprising configuration.
  *
+ * QPAD_DEADLINE_MS=<millis> arms an execution deadline on the bench's
+ * request context: the run either completes in full or unwinds as a
+ * deadline-exceeded cancellation (each bench documents its exit code
+ * for that case). A deadline generous enough to finish changes
+ * nothing — a context decides only WHETHER a result exists, never its
+ * bytes.
+ *
  * Observability (handled by qpad::obs, no bench code involved):
  * QPAD_TRACE=<path> writes a Chrome trace-event JSON profile of the
  * run at exit, QPAD_METRICS=stderr|<path> dumps the process metrics
@@ -24,11 +31,14 @@
 
 #include <cctype>
 #include <cerrno>
+#include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 
 #include "eval/experiment.hh"
+#include "exec/context.hh"
 #include "obs/metrics.hh"
 
 namespace qpad::bench
@@ -112,6 +122,45 @@ execOptions()
     }
     exec.num_threads = std::size_t(v);
     return exec;
+}
+
+/**
+ * Wall-clock budget from QPAD_DEADLINE_MS in milliseconds, or 0 when
+ * unset/empty (no deadline). Same strictness as the other knobs:
+ * digits only, and 0 itself is rejected — an always-expired deadline
+ * is never what the user meant, and 0 is the "unset" sentinel here.
+ */
+inline std::uint64_t
+deadlineMs()
+{
+    const char *ms = std::getenv("QPAD_DEADLINE_MS");
+    if (!ms || !*ms)
+        return 0;
+    for (const char *c = ms; *c; ++c)
+        if (!std::isdigit(static_cast<unsigned char>(*c)))
+            dieOnEnv("QPAD_DEADLINE_MS", ms,
+                     "expected a positive integer of milliseconds");
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(ms, &end, 10);
+    if (errno == ERANGE || *end != '\0' || v == 0)
+        dieOnEnv("QPAD_DEADLINE_MS", ms,
+                 "expected a positive integer of milliseconds");
+    return std::uint64_t(v);
+}
+
+/**
+ * The bench's request context: fresh, with a deadline armed when
+ * QPAD_DEADLINE_MS is set. Pass it to the ctx-threaded entry points;
+ * with the variable unset the context never stops anything.
+ */
+inline exec::Context
+requestContext()
+{
+    exec::Context ctx;
+    if (const std::uint64_t ms = deadlineMs())
+        ctx.setDeadlineAfter(std::chrono::milliseconds(ms));
+    return ctx;
 }
 
 /** Paper-fidelity experiment options (or scaled-down in fast mode). */

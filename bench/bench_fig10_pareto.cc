@@ -14,7 +14,10 @@
  * or QPAD_FIG10_CSV=only for CSV alone (no report text — the CSV is
  * then byte-identical between cold and warm cache passes, which the
  * CI two-pass job cmp-checks; the report would differ in its cache-
- * statistics line). QPAD_FIG10_SUITE=<substring>[,<substring>...]
+ * statistics line). QPAD_DEADLINE_MS=<millis> arms a deadline on the
+ * sweep's request context; if it expires the run stops within one
+ * chunk of work and exits 4 (CI gates on both the exit code and the
+ * stop latency). QPAD_FIG10_SUITE=<substring>[,<substring>...]
  * restricts the sweep to matching benchmark names. --expect-warm
  * exits nonzero unless the sweep was FULLY warm: at least one
  * result-cache hit and zero misses. (Hits alone would not prove a
@@ -35,6 +38,8 @@
 #include "benchmarks/suite.hh"
 #include "eval/experiment.hh"
 #include "eval/report.hh"
+#include "exec/cancel.hh"
+#include "exec/context.hh"
 
 using namespace qpad;
 
@@ -77,6 +82,7 @@ main(int argc, char **argv)
         }
     }
     auto options = bench::paperOptions();
+    const exec::Context ctx = bench::requestContext();
     const char *csv_env = std::getenv("QPAD_FIG10_CSV");
     const bool csv = csv_env != nullptr;
     const bool csv_only = csv && std::strcmp(csv_env, "only") == 0;
@@ -93,61 +99,69 @@ main(int argc, char **argv)
 
     std::size_t cache_hits = 0, cache_misses = 0;
     bool csv_header = true;
-    for (const auto &info : benchmarks::paperSuite()) {
-        if (!suiteSelected(info.name))
-            continue;
-        auto experiment = eval::runBenchmark(info, options);
-        cache_hits += experiment.cache_stats.hits;
-        cache_misses += experiment.cache_stats.misses;
-        if (!csv_only)
-            eval::printExperiment(std::cout, experiment);
-        if (csv) {
-            eval::printExperimentCsv(std::cout, experiment, csv_header);
-            csv_header = false;
-        }
-        if (csv_only)
-            continue;
+    try {
+        for (const auto &info : benchmarks::paperSuite()) {
+            if (!suiteSelected(info.name))
+                continue;
+            auto experiment = eval::runBenchmark(info, options, ctx);
+            cache_hits += experiment.cache_stats.hits;
+            cache_misses += experiment.cache_stats.misses;
+            if (!csv_only)
+                eval::printExperiment(std::cout, experiment);
+            if (csv) {
+                eval::printExperimentCsv(std::cout, experiment,
+                                         csv_header);
+                csv_header = false;
+            }
+            if (csv_only)
+                continue;
 
-        // Per-benchmark headline, matching Section 5.3: the most
-        // simplified eff design against ibm(1), and the richest eff
-        // design against ibm(4).
-        const eval::DataPoint *ibm1 = nullptr, *ibm4 = nullptr;
-        for (const auto &p : experiment.points) {
-            if (p.arch_name == "ibm-16q-2qbus")
-                ibm1 = &p;
-            if (p.arch_name == "ibm-20q-4qbus")
-                ibm4 = &p;
+            // Per-benchmark headline, matching Section 5.3: the most
+            // simplified eff design against ibm(1), and the richest
+            // eff design against ibm(4).
+            const eval::DataPoint *ibm1 = nullptr, *ibm4 = nullptr;
+            for (const auto &p : experiment.points) {
+                if (p.arch_name == "ibm-16q-2qbus")
+                    ibm1 = &p;
+                if (p.arch_name == "ibm-20q-4qbus")
+                    ibm4 = &p;
+            }
+            auto eff = experiment.config("eff-full");
+            if (ibm1 && ibm4 && !eff.empty()) {
+                const auto *eff_min = eff.front();
+                const auto *eff_max = eff.back();
+                auto ratio_cell = [](double num,
+                                     const eval::DataPoint *den) {
+                    double floor = den->yield_trials > 0
+                                       ? 1.0 / double(den->yield_trials)
+                                       : 1e-7;
+                    std::string prefix = den->yield > 0 ? "" : ">=";
+                    return prefix +
+                           eval::formatFixed(
+                               num / std::max(den->yield, floor), 1) +
+                           "x";
+                };
+                std::cout
+                    << "  summary: eff-min vs ibm(1): yield "
+                    << ratio_cell(eff_min->yield, ibm1) << ", gates "
+                    << eval::formatFixed(double(eff_min->gate_count) /
+                                             ibm1->gate_count,
+                                         3)
+                    << ";  eff-max vs ibm(4): yield "
+                    << ratio_cell(eff_max->yield, ibm4) << ", gates "
+                    << eval::formatFixed(double(eff_max->gate_count) /
+                                             ibm4->gate_count,
+                                         3)
+                    << "\n";
+            }
+            std::cout << "\n";
         }
-        auto eff = experiment.config("eff-full");
-        if (ibm1 && ibm4 && !eff.empty()) {
-            const auto *eff_min = eff.front();
-            const auto *eff_max = eff.back();
-            auto ratio_cell = [](double num,
-                                 const eval::DataPoint *den) {
-                double floor = den->yield_trials > 0
-                                   ? 1.0 / double(den->yield_trials)
-                                   : 1e-7;
-                std::string prefix = den->yield > 0 ? "" : ">=";
-                return prefix +
-                       eval::formatFixed(
-                           num / std::max(den->yield, floor), 1) +
-                       "x";
-            };
-            std::cout << "  summary: eff-min vs ibm(1): yield "
-                      << ratio_cell(eff_min->yield, ibm1)
-                      << ", gates "
-                      << eval::formatFixed(double(eff_min->gate_count) /
-                                               ibm1->gate_count,
-                                           3)
-                      << ";  eff-max vs ibm(4): yield "
-                      << ratio_cell(eff_max->yield, ibm4)
-                      << ", gates "
-                      << eval::formatFixed(double(eff_max->gate_count) /
-                                               ibm4->gate_count,
-                                           3)
-                      << "\n";
-        }
-        std::cout << "\n";
+    } catch (const exec::CancelledError &e) {
+        // Distinct from the usage (2) and --expect-warm (3) exits so
+        // CI can gate on "the deadline, and nothing else, fired".
+        std::fprintf(stderr, "qpad bench: fig10 sweep stopped: %s\n",
+                     e.what());
+        return 4;
     }
     if (expect_warm && (cache_hits == 0 || cache_misses != 0)) {
         std::cerr << "--expect-warm: run was not fully warm ("

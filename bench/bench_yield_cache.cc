@@ -91,8 +91,10 @@ runMicrobench()
     const auto c0 = clock::now();
     const double cold_acc = sweep();
     const auto c1 = clock::now();
+    const obs::Snapshot warm_before = obs::snapshot();
     const double warm_acc = sweep();
     const auto c2 = clock::now();
+    const obs::Snapshot warm_delta = obs::deltaSince(warm_before);
 
     const double cold_s = seconds(c0, c1);
     const double warm_s = seconds(c1, c2);
@@ -132,6 +134,21 @@ runMicrobench()
                      "(cold %.4fs, warm %.4fs)\n",
                      cold_s, warm_s);
         rc = 1;
+    }
+    // Zero-recompute contract: a fully warm sweep is pure hash
+    // lookups, so the expensive-work counters must not move at all.
+    // Timing alone would let a 10x-faster-but-still-recomputing
+    // regression slip through; the metric deltas cannot.
+    for (const char *counter :
+         {"design.flows", "yield.estimates", "eval.measurements"}) {
+        const double moved = obs::valueOf(warm_delta, counter);
+        if (moved != 0.0) {
+            std::fprintf(stderr,
+                         "FAIL: warm sweep recomputed work: %s "
+                         "advanced by %.0f\n",
+                         counter, moved);
+            rc = 1;
+        }
     }
     if (rc == 0)
         std::printf("\nwarm sweep served entirely from the cache\n");

@@ -60,6 +60,13 @@ entriesMetric()
     return g;
 }
 
+obs::Counter &
+dedupMetric()
+{
+    static obs::Counter &c = obs::counter("cache.dedup_waits");
+    return c;
+}
+
 /** Log file name inside CacheOptions::dir. */
 constexpr const char *kLogName = "qpad_cache.qpc";
 
@@ -220,6 +227,84 @@ Store::put(const Fingerprint &key, const std::vector<uint8_t> &value)
     appendRecord(key, value);
 }
 
+std::vector<uint8_t>
+Store::getOrCompute(
+    const Fingerprint &key,
+    const std::function<std::vector<uint8_t>()> &compute,
+    const exec::CancelToken *cancel)
+{
+    for (;;) {
+        std::vector<uint8_t> value;
+        if (get(key, value))
+            return value;
+
+        // Miss: claim ownership of the key's computation, or join an
+        // existing one. The map lock covers only the claim — never
+        // the compute or the wait.
+        std::shared_ptr<InFlight> flight;
+        bool owner = false;
+        {
+            std::lock_guard<std::mutex> lock(inflight_mutex_);
+            auto it = inflight_.find(key);
+            if (it == inflight_.end()) {
+                flight = std::make_shared<InFlight>();
+                inflight_.emplace(key, flight);
+                owner = true;
+            } else {
+                flight = it->second;
+            }
+        }
+
+        if (owner) {
+            // The owner's path is get() + compute + put(): exactly
+            // the counter trace of the classic read-through idiom,
+            // so uncontended callers see identical stats.
+            std::exception_ptr error;
+            try {
+                value = compute();
+            } catch (...) {
+                error = std::current_exception();
+            }
+            if (!error)
+                put(key, value);
+            // Erase BEFORE signalling done: on success a late
+            // arrival now hits in get(); on failure it starts a
+            // fresh computation instead of joining a dead one.
+            {
+                std::lock_guard<std::mutex> lock(inflight_mutex_);
+                inflight_.erase(key);
+            }
+            {
+                std::lock_guard<std::mutex> lock(flight->mutex);
+                flight->done = true;
+            }
+            flight->cv.notify_all();
+            if (error)
+                std::rethrow_exception(error);
+            return value;
+        }
+
+        // Waiter: block until the owner finishes, polling the
+        // caller's OWN token — a cancelled waiter leaves without
+        // touching the owner or the other waiters. On wakeup the
+        // outer loop re-runs get(): a successful owner turns it into
+        // a hit, a failed (or evicted) one promotes some waiter to
+        // owner on the next claim.
+        // qpad-lint: allow(atomic-relaxed) "monotonic stat counter;
+        // never synchronizes data"
+        dedup_waits_.fetch_add(1, std::memory_order_relaxed);
+        dedupMetric().add();
+        {
+            std::unique_lock<std::mutex> lock(flight->mutex);
+            while (!flight->done) {
+                exec::throwIfStopped(cancel);
+                flight->cv.wait_for(lock,
+                                    std::chrono::milliseconds(10));
+            }
+        }
+    }
+}
+
 void
 Store::clear()
 {
@@ -249,6 +334,9 @@ Store::stats() const
     // qpad-lint: allow(atomic-relaxed) "stat snapshot; approximate
     // reads are fine and no data is published through them"
     s.evictions = evictions_.load(std::memory_order_relaxed);
+    // qpad-lint: allow(atomic-relaxed) "stat snapshot; approximate
+    // reads are fine and no data is published through them"
+    s.dedup_waits = dedup_waits_.load(std::memory_order_relaxed);
     s.disk_loaded = disk_loaded_;
     s.disk_dropped = disk_dropped_;
     for (const Shard &shard : shards_) {

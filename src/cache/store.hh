@@ -25,15 +25,19 @@
 #define QPAD_CACHE_STORE_HH
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <cstdio>
+#include <functional>
 #include <list>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "cache/fingerprint.hh"
+#include "exec/cancel.hh"
 
 namespace qpad::cache
 {
@@ -64,6 +68,9 @@ struct StoreStats
     /** Records replayed / rejected from the on-disk log on open. */
     uint64_t disk_loaded = 0;
     uint64_t disk_dropped = 0;
+    /** getOrCompute() calls that waited on a concurrent identical
+     * computation instead of starting their own. */
+    uint64_t dedup_waits = 0;
 };
 
 /** Content-addressed blob store (thread-safe). */
@@ -94,6 +101,29 @@ class Store
     /** Drop every in-memory entry (the disk log is left alone). */
     void clear();
 
+    /**
+     * Look up `key`; on a miss run `compute` and insert its result.
+     * Concurrent callers with the same key deduplicate: exactly one
+     * (the owner) runs `compute` while the others block until it
+     * finishes, then read the inserted value — the owner's path is
+     * byte-identical (and counter-identical: one miss, one insert)
+     * to get()+put(), so uncontended callers cannot tell the
+     * difference.
+     *
+     * `cancel` applies to the CALLER only. A waiter whose token fires
+     * raises exec::CancelledError without disturbing the owner's
+     * computation (other waiters and the owner proceed normally);
+     * the owner runs `compute` under its own context, if any. If the
+     * owner's compute throws, the owner rethrows and one waiter is
+     * promoted to owner and retries.
+     *
+     * Returns the cached or freshly computed payload.
+     */
+    std::vector<uint8_t>
+    getOrCompute(const Fingerprint &key,
+                 const std::function<std::vector<uint8_t>()> &compute,
+                 const exec::CancelToken *cancel = nullptr);
+
     StoreStats stats() const;
 
   private:
@@ -113,6 +143,15 @@ class Store
         std::size_t bytes = 0;
     };
 
+    /** One in-flight getOrCompute computation; waiters block on cv
+     * until the owner sets done (after put() and map erase). */
+    struct InFlight
+    {
+        std::mutex mutex;
+        std::condition_variable cv;
+        bool done = false;
+    };
+
     Shard &shardFor(const Fingerprint &key);
     /** Insert into memory only (shared by put() and log replay). */
     void putInMemory(const Fingerprint &key,
@@ -130,8 +169,15 @@ class Store
     std::atomic<uint64_t> misses_{0};
     std::atomic<uint64_t> inserts_{0};
     std::atomic<uint64_t> evictions_{0};
+    std::atomic<uint64_t> dedup_waits_{0};
     uint64_t disk_loaded_ = 0;  ///< written once, in the constructor
     uint64_t disk_dropped_ = 0; ///< ditto
+
+    /** Guards inflight_ (never held while computing or waiting). */
+    std::mutex inflight_mutex_;
+    std::unordered_map<Fingerprint, std::shared_ptr<InFlight>,
+                       FingerprintHash>
+        inflight_;
 
     std::mutex log_mutex_;
     std::FILE *log_ = nullptr;

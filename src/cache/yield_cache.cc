@@ -207,45 +207,62 @@ freqAllocKey(const arch::Architecture &arch,
 
 yield::YieldResult
 cachedEstimateYield(const arch::Architecture &arch,
-                    const yield::YieldOptions &options)
+                    const yield::YieldOptions &options,
+                    const exec::Context &ctx)
 {
     Store &store = globalStore();
     if (!store.options().enabled || options.trials == 0)
-        return yield::estimateYield(arch, options);
+        return yield::estimateYield(arch, options, ctx);
 
+    // getOrCompute deduplicates concurrent identical estimates: one
+    // caller computes, the rest block on its result. The owner runs
+    // under its own ctx; a waiter's ctx only governs its wait. The
+    // encode/decode round trip is lossless (exact integers; the
+    // yield ratio is recomputed from them), so the returned result
+    // is bit-identical to the uncached call.
     const Fingerprint key = yieldKey(arch, options);
-    std::vector<uint8_t> blob;
-    if (store.get(key, blob)) {
-        yield::YieldResult result;
-        if (decodeYieldResult(blob, options, result))
-            return result;
-        qpad_warn("cache: dropping undecodable yield record ",
-                  key.hex());
-    }
-    yield::YieldResult result = yield::estimateYield(arch, options);
+    const std::vector<uint8_t> blob = store.getOrCompute(
+        key,
+        [&] {
+            return encodeYieldResult(
+                yield::estimateYield(arch, options, ctx));
+        },
+        ctx.token());
+    yield::YieldResult result;
+    if (decodeYieldResult(blob, options, result))
+        return result;
+    // Undecodable bytes (corrupt disk record or a 128-bit key
+    // collision): recompute and overwrite, exactly as a plain miss
+    // would have.
+    qpad_warn("cache: dropping undecodable yield record ", key.hex());
+    result = yield::estimateYield(arch, options, ctx);
     store.put(key, encodeYieldResult(result));
     return result;
 }
 
 design::FreqAllocResult
 cachedAllocateFrequencies(const arch::Architecture &arch,
-                          const design::FreqAllocOptions &options)
+                          const design::FreqAllocOptions &options,
+                          const exec::Context &ctx)
 {
     Store &store = globalStore();
     if (!store.options().enabled)
-        return design::allocateFrequencies(arch, options);
+        return design::allocateFrequencies(arch, options, ctx);
 
     const Fingerprint key = freqAllocKey(arch, options);
-    std::vector<uint8_t> blob;
-    if (store.get(key, blob)) {
-        design::FreqAllocResult result;
-        if (decodeFreqAllocResult(blob, arch.numQubits(), result))
-            return result;
-        qpad_warn("cache: dropping undecodable freq-alloc record ",
-                  key.hex());
-    }
-    design::FreqAllocResult result =
-        design::allocateFrequencies(arch, options);
+    const std::vector<uint8_t> blob = store.getOrCompute(
+        key,
+        [&] {
+            return encodeFreqAllocResult(
+                design::allocateFrequencies(arch, options, ctx));
+        },
+        ctx.token());
+    design::FreqAllocResult result;
+    if (decodeFreqAllocResult(blob, arch.numQubits(), result))
+        return result;
+    qpad_warn("cache: dropping undecodable freq-alloc record ",
+              key.hex());
+    result = design::allocateFrequencies(arch, options, ctx);
     store.put(key, encodeFreqAllocResult(result));
     return result;
 }

@@ -27,6 +27,7 @@
 
 #include "cache/store.hh"
 #include "design/freq_alloc.hh"
+#include "exec/context.hh"
 #include "yield/yield_sim.hh"
 
 namespace qpad::cache
@@ -53,16 +54,23 @@ Fingerprint freqAllocKey(const arch::Architecture &arch,
 /**
  * estimateYield through the global cache: exact-key memoization of
  * the deterministic result. Zero-trial calls and a disabled cache
- * pass straight through.
+ * pass straight through. Concurrent identical requests deduplicate
+ * via Store::getOrCompute — exactly one computes, the rest wait
+ * (each honouring its own `ctx`; a cancelled waiter never cancels
+ * the computing owner).
  */
 yield::YieldResult
 cachedEstimateYield(const arch::Architecture &arch,
-                    const yield::YieldOptions &options = {});
+                    const yield::YieldOptions &options = {},
+                    const exec::Context &ctx = exec::Context::none());
 
-/** allocateFrequencies through the global cache. */
+/** allocateFrequencies through the global cache (same dedup and
+ * cancellation semantics as cachedEstimateYield). */
 design::FreqAllocResult
-cachedAllocateFrequencies(const arch::Architecture &arch,
-                          const design::FreqAllocOptions &options = {});
+cachedAllocateFrequencies(
+    const arch::Architecture &arch,
+    const design::FreqAllocOptions &options = {},
+    const exec::Context &ctx = exec::Context::none());
 
 } // namespace qpad::cache
 

@@ -67,11 +67,14 @@ struct ChainResult
     std::size_t accepted_moves = 0;
 };
 
-/** One classic annealing run, seeded explicitly. */
+/** One classic annealing run, seeded explicitly. `cancel` (may be
+ * null) is polled every 1024 iterations — often enough to honour a
+ * deadline mid-chain, rare enough to stay invisible in the move
+ * loop's profile. The poll never perturbs the RNG stream. */
 ChainResult
 annealChain(const profile::CouplingProfile &profile,
             const LayoutResult &start, const AnnealOptions &options,
-            uint64_t seed)
+            uint64_t seed, const exec::CancelToken *cancel)
 {
     const std::size_t n = profile.num_qubits;
 
@@ -97,6 +100,8 @@ annealChain(const profile::CouplingProfile &profile,
     double temperature = options.t_start;
 
     for (std::size_t it = 0; it < options.iterations && n > 1; ++it) {
+        if ((it & 1023u) == 0)
+            exec::throwIfStopped(cancel);
         temperature *= cooling;
         Qubit q = Qubit(rng.below(n));
 
@@ -241,7 +246,8 @@ decodeChain(const std::vector<uint8_t> &blob, std::size_t num_qubits,
 
 AnnealResult
 annealLayout(const profile::CouplingProfile &profile,
-             const LayoutResult &start, const AnnealOptions &options)
+             const LayoutResult &start, const AnnealOptions &options,
+             const exec::Context &ctx)
 {
     const std::size_t n = profile.num_qubits;
     qpad_assert(start.coord_of_logical.size() == n,
@@ -265,8 +271,9 @@ annealLayout(const profile::CouplingProfile &profile,
     // stealing keep the runners busy either way. Chain i's seed
     // depends only on i, never on the chunk index, so chunk identity
     // is free to follow the guided sequence.
+    const runtime::Options run_exec = ctx.apply(options.exec);
     runtime::parallel_for(
-        options.exec, options.restarts, 0,
+        run_exec, options.restarts, 0,
         [&](std::size_t begin, std::size_t end, std::size_t) {
             for (std::size_t i = begin; i < end; ++i) {
                 const uint64_t seed =
@@ -289,15 +296,17 @@ annealLayout(const profile::CouplingProfile &profile,
                     {
                         QPAD_SPAN("design.anneal_chain");
                         chain_runs.add();
-                        chains[i] =
-                            annealChain(profile, start, options, seed);
+                        chains[i] = annealChain(profile, start,
+                                                options, seed,
+                                                run_exec.cancel);
                     }
                     store.put(key, encodeChain(chains[i]));
                     continue;
                 }
                 QPAD_SPAN("design.anneal_chain");
                 chain_runs.add();
-                chains[i] = annealChain(profile, start, options, seed);
+                chains[i] = annealChain(profile, start, options, seed,
+                                        run_exec.cancel);
             }
         });
 

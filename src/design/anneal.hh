@@ -16,6 +16,7 @@
 
 #include "common/rng.hh"
 #include "design/layout_design.hh"
+#include "exec/context.hh"
 #include "runtime/parallel.hh"
 
 namespace qpad::design
@@ -60,10 +61,17 @@ struct AnnealResult
  * 1's output). Moves are qubit relocations to free frontier nodes
  * and pairwise qubit swaps; the cost is placementCost(). The result
  * is never worse than the start (best-seen is returned).
+ *
+ * A cancelled or deadline-expired `ctx` raises exec::CancelledError;
+ * chains poll every 1024 iterations, so even a single long chain
+ * stops promptly. Completed runs are bit-identical to runs without
+ * a context.
  */
-AnnealResult annealLayout(const profile::CouplingProfile &profile,
-                          const LayoutResult &start,
-                          const AnnealOptions &options = {});
+AnnealResult
+annealLayout(const profile::CouplingProfile &profile,
+             const LayoutResult &start,
+             const AnnealOptions &options = {},
+             const exec::Context &ctx = exec::Context::none());
 
 } // namespace qpad::design
 

@@ -14,11 +14,15 @@ using arch::Architecture;
 DesignOutcome
 designArchitecture(const profile::CouplingProfile &profile,
                    const DesignFlowOptions &options,
-                   const std::string &name)
+                   const std::string &name, const exec::Context &ctx)
 {
     QPAD_SPAN("design.flow");
     static obs::Counter &flows = obs::counter("design.flows");
     flows.add();
+
+    // A request that is already cancelled or expired should not even
+    // start the layout stage.
+    ctx.throwIfStopped();
 
     DesignOutcome outcome;
 
@@ -80,7 +84,8 @@ designArchitecture(const profile::CouplingProfile &profile,
         // a warm on-disk cache) skip the Monte Carlo entirely.
         outcome.freq =
             cache::cachedAllocateFrequencies(outcome.architecture,
-                                             options.freq_options);
+                                             options.freq_options,
+                                             ctx);
         outcome.architecture.setAllFrequencies(outcome.freq.freqs);
         break;
       case FreqScheme::FiveFrequency:

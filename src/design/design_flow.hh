@@ -20,6 +20,7 @@
 #include "design/bus_selection.hh"
 #include "design/freq_alloc.hh"
 #include "design/layout_design.hh"
+#include "exec/context.hh"
 #include "profile/coupling.hh"
 
 namespace qpad::design
@@ -64,11 +65,16 @@ struct DesignOutcome
 
 /**
  * Run the flow on a profiled program and return a complete
- * architecture (layout + buses + frequencies).
+ * architecture (layout + buses + frequencies). A cancelled or
+ * deadline-expired `ctx` raises exec::CancelledError from the
+ * frequency-allocation stage (the flow's dominant cost); a completed
+ * flow is bit-identical to one run without a context.
  */
-DesignOutcome designArchitecture(const profile::CouplingProfile &profile,
-                                 const DesignFlowOptions &options = {},
-                                 const std::string &name = "eff");
+DesignOutcome
+designArchitecture(const profile::CouplingProfile &profile,
+                   const DesignFlowOptions &options = {},
+                   const std::string &name = "eff",
+                   const exec::Context &ctx = exec::Context::none());
 
 } // namespace qpad::design
 

@@ -114,10 +114,16 @@ buildLocalTerms(const Architecture &arch, PhysQubit q,
 
 FreqAllocResult
 allocateFrequencies(const Architecture &arch,
-                    const FreqAllocOptions &options)
+                    const FreqAllocOptions &options,
+                    const exec::Context &ctx)
 {
     const std::size_t n = arch.numQubits();
     qpad_assert(n > 0, "cannot allocate frequencies on an empty chip");
+
+    // Effective execution options: the context's token rides along
+    // into the candidate-scan regions, and the BFS/refine loops poll
+    // it between qubit visits below.
+    const runtime::Options run_exec = ctx.apply(options.exec);
 
     // Candidate grid 5.00, 5.01, ..., 5.34 GHz.
     std::vector<double> candidates;
@@ -264,12 +270,12 @@ allocateFrequencies(const Architecture &arch,
         // so the chunking (unlike the table generation above) is
         // free to vary with the thread count.
         const std::size_t workers =
-            runtime::resolveThreads(options.exec);
+            runtime::resolveThreads(run_exec);
         const std::size_t grain =
             (candidates.size() + workers - 1) / workers;
         std::vector<double> scores(candidates.size());
         runtime::parallel_for(
-            options.exec, candidates.size(), grain,
+            run_exec, candidates.size(), grain,
             [&](std::size_t begin, std::size_t end, std::size_t) {
                 if (batched) {
                     // Blocks outer, candidates inner: each block is
@@ -347,6 +353,10 @@ allocateFrequencies(const Architecture &arch,
     };
 
     auto process = [&](PhysQubit q) {
+        // Stop between qubit visits, never mid-scan: an aborted
+        // allocation leaves no partial result behind, and a completed
+        // one never saw the poll affect its draws.
+        exec::throwIfStopped(run_exec.cancel);
         auto [freq, score] = optimize(q);
         result.freqs[q] = freq;
         assigned[q] = true;
@@ -383,6 +393,7 @@ allocateFrequencies(const Architecture &arch,
     // neighbourhood assigned and keep the per-qubit argmax.
     for (unsigned sweep = 0; sweep < options.refine_sweeps; ++sweep) {
         for (std::size_t idx = 0; idx < result.order.size(); ++idx) {
+            exec::throwIfStopped(run_exec.cancel);
             PhysQubit q = result.order[idx];
             auto [freq, score] = optimize(q);
             result.freqs[q] = freq;
@@ -395,9 +406,10 @@ allocateFrequencies(const Architecture &arch,
 
 void
 applyOptimizedFrequencies(Architecture &arch,
-                          const FreqAllocOptions &options)
+                          const FreqAllocOptions &options,
+                          const exec::Context &ctx)
 {
-    FreqAllocResult result = allocateFrequencies(arch, options);
+    FreqAllocResult result = allocateFrequencies(arch, options, ctx);
     arch.setAllFrequencies(result.freqs);
 }
 

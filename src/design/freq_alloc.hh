@@ -20,6 +20,7 @@
 
 #include "arch/architecture.hh"
 #include "common/gauss_block.hh"
+#include "exec/context.hh"
 #include "runtime/parallel.hh"
 #include "yield/collision.hh"
 
@@ -75,13 +76,21 @@ struct FreqAllocResult
     std::vector<double> local_scores;
 };
 
-/** Run Algorithm 3; does not mutate the architecture. */
-FreqAllocResult allocateFrequencies(const arch::Architecture &arch,
-                                    const FreqAllocOptions &options = {});
+/**
+ * Run Algorithm 3; does not mutate the architecture. A cancelled or
+ * deadline-expired `ctx` raises exec::CancelledError between qubit
+ * visits and between refine steps (never mid-scan); a completed run
+ * is bit-identical to one without a context.
+ */
+FreqAllocResult
+allocateFrequencies(const arch::Architecture &arch,
+                    const FreqAllocOptions &options = {},
+                    const exec::Context &ctx = exec::Context::none());
 
 /** Convenience: allocate and store into the architecture. */
-void applyOptimizedFrequencies(arch::Architecture &arch,
-                               const FreqAllocOptions &options = {});
+void applyOptimizedFrequencies(
+    arch::Architecture &arch, const FreqAllocOptions &options = {},
+    const exec::Context &ctx = exec::Context::none());
 
 /** The centre-most qubit (Euclidean distance to the centroid). */
 arch::PhysQubit centerQubit(const arch::Layout &layout);

@@ -15,6 +15,8 @@
 #include "benchmarks/suite.hh"
 #include "cache/store.hh"
 #include "design/design_flow.hh"
+#include "exec/context.hh"
+#include "exec/stream.hh"
 #include "mapping/sabre.hh"
 #include "obs/metrics.hh"
 #include "runtime/parallel.hh"
@@ -72,6 +74,16 @@ struct ExperimentOptions
      * any thread count; points keep their sequential order.
      */
     runtime::Options exec = {};
+    /**
+     * Optional streaming sink: when attached, every completed
+     * DataPoint is emitted as (job index, point) the moment its job
+     * finishes — completion order is scheduler-dependent, the index
+     * is the point's deterministic slot in `points`. Emitted points
+     * carry the raw measurement; norm_recip_gates is a whole-run
+     * derived value and is only filled in the final blocking result
+     * (0.0 in streamed items). Excluded from all cache keys.
+     */
+    exec::Sink<DataPoint> stream = {};
 };
 
 /** All points for one benchmark (one subplot of Figure 10). */
@@ -111,15 +123,33 @@ struct BenchmarkExperiment
     std::size_t bestGates(const std::string &config) const;
 };
 
-/** Evaluate one architecture against one circuit. */
+/**
+ * Evaluate one architecture against one circuit. A cancelled or
+ * deadline-expired `ctx` raises exec::CancelledError between the
+ * adaptive yield-escalation steps and inside the yield estimate's
+ * parallel region; a completed measurement is bit-identical to one
+ * without a context.
+ */
 DataPoint measure(const std::string &config,
                   const arch::Architecture &arch,
                   const circuit::Circuit &circuit,
-                  const ExperimentOptions &options);
+                  const ExperimentOptions &options,
+                  const exec::Context &ctx = exec::Context::none());
 
-/** Run the requested configurations for one benchmark. */
-BenchmarkExperiment runBenchmark(const benchmarks::BenchmarkInfo &info,
-                                 const ExperimentOptions &options);
+/**
+ * Run the requested configurations for one benchmark. Each data
+ * point (design + mapping + yield) is memoized whole under a
+ * "qpad.datapoint/v1" key when the global cache is enabled, so a
+ * warm rerun of a sweep skips the design flow and the mapper
+ * entirely, not just the Monte Carlo. Cancellation via `ctx` stops
+ * at job boundaries (plus the finer-grained polls inside design and
+ * yield); a completed run is bit-identical at every thread count,
+ * with or without a context or a warm cache.
+ */
+BenchmarkExperiment
+runBenchmark(const benchmarks::BenchmarkInfo &info,
+             const ExperimentOptions &options,
+             const exec::Context &ctx = exec::Context::none());
 
 /** Fill norm_recip_gates = max gate count / gate count. */
 void normalize(BenchmarkExperiment &experiment);

@@ -1,0 +1,93 @@
+#include "exec/cancel.hh"
+
+#include <string>
+
+#include "obs/metrics.hh"
+
+namespace qpad::exec
+{
+
+namespace
+{
+
+/** Nanoseconds since the steady epoch for deadline arithmetic. */
+std::int64_t
+toNs(TimePoint t)
+{
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               t.time_since_epoch())
+        .count();
+}
+
+} // namespace
+
+TimePoint
+now()
+{
+    // The sanctioned steady-clock read: allowlisted as
+    // "cancel.cc:now" under [wallclock] in qpad_lint.toml. Deadlines
+    // decide only *whether* a result exists — a run that completes
+    // is bit-identical regardless of when this was read.
+    return std::chrono::steady_clock::now();
+}
+
+const char *
+stopReasonName(StopReason reason)
+{
+    switch (reason) {
+    case StopReason::kCancelled:
+        return "cancelled";
+    case StopReason::kDeadlineExceeded:
+        return "deadline exceeded";
+    case StopReason::kNone:
+        break;
+    }
+    return "none";
+}
+
+void
+CancelToken::setDeadline(TimePoint deadline)
+{
+    deadline_ns_.store(toNs(deadline), std::memory_order_seq_cst);
+}
+
+StopReason
+CancelToken::stopReason() const
+{
+    if (cancelled_.load(std::memory_order_seq_cst))
+        return StopReason::kCancelled;
+    const std::int64_t armed =
+        deadline_ns_.load(std::memory_order_seq_cst);
+    if (armed != kNoDeadline && toNs(now()) >= armed)
+        return StopReason::kDeadlineExceeded;
+    return StopReason::kNone;
+}
+
+CancelledError::CancelledError(StopReason reason)
+    : std::runtime_error(std::string("exec: request ") +
+                         stopReasonName(reason)),
+      reason_(reason)
+{
+}
+
+void
+noteStopped(StopReason reason)
+{
+    if (reason == StopReason::kCancelled) {
+        static obs::Counter &c = obs::counter("exec.cancelled");
+        c.add();
+    } else if (reason == StopReason::kDeadlineExceeded) {
+        static obs::Counter &c =
+            obs::counter("exec.deadline_exceeded");
+        c.add();
+    }
+}
+
+void
+raiseStopped(StopReason reason)
+{
+    noteStopped(reason);
+    throw CancelledError(reason);
+}
+
+} // namespace qpad::exec

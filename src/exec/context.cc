@@ -1,0 +1,32 @@
+#include "exec/context.hh"
+
+#include "obs/metrics.hh"
+
+namespace qpad::exec
+{
+
+const Context &
+Context::none()
+{
+    // Leaked Meyers singleton (same pattern as the obs registry):
+    // default arguments bind references to it from any thread at any
+    // point of process teardown, so it must never be destroyed.
+    static const Context &ctx = *new Context();
+    return ctx;
+}
+
+RequestScope::RequestScope() : start_(now())
+{
+    static obs::Counter &requests = obs::counter("exec.requests");
+    requests.add();
+}
+
+RequestScope::~RequestScope()
+{
+    static obs::Histogram &seconds =
+        obs::histogram("exec.request_seconds");
+    seconds.observe(
+        std::chrono::duration<double>(now() - start_).count());
+}
+
+} // namespace qpad::exec

@@ -1,0 +1,15 @@
+#include "exec/stream.hh"
+
+#include "obs/metrics.hh"
+
+namespace qpad::exec::detail
+{
+
+void
+noteStreamEmit()
+{
+    static obs::Counter &emits = obs::counter("exec.stream_emits");
+    emits.add();
+}
+
+} // namespace qpad::exec::detail

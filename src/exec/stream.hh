@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Order-tagged streaming result sink.
+ *
+ * A `Sink<T>` wraps a user callback `(index, item)` that producers
+ * fire as results complete — e.g. `eval::runBenchmark` emits each
+ * `DataPoint` the moment its guided chunk finishes, so report
+ * generation (or a daemon's response stream) overlaps the sweep.
+ *
+ * Contract:
+ *   - *Order tags, not order*: items arrive in completion order,
+ *     which is scheduler-dependent; `index` is the item's position
+ *     in the final result, so a consumer can reassemble the
+ *     deterministic sequence. The set of (index, item) pairs emitted
+ *     by a completed run is bit-identical to the blocking result at
+ *     every thread count.
+ *   - *Serialized*: emits are delivered under an internal mutex, one
+ *     at a time, from whichever worker finished the item. The
+ *     callback needs no locking of its own but must not block for
+ *     long (it stalls that worker) and must not re-enter the
+ *     producer.
+ *   - A default-constructed Sink is disabled: `emit` is a no-op and
+ *     `operator bool` is false, so producers can thread one through
+ *     unconditionally.
+ *
+ * Copies share state: the emitted() count and the serialization
+ * mutex travel with the sink, so options structs can be copied
+ * freely (as the experiment harness does per job).
+ */
+
+#ifndef QPAD_EXEC_STREAM_HH
+#define QPAD_EXEC_STREAM_HH
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+namespace qpad::exec
+{
+
+namespace detail
+{
+
+/** Shared, non-template part of a Sink. */
+struct SinkState
+{
+    std::mutex mutex;
+    std::size_t emitted = 0;
+};
+
+/** Count one delivery in the exec.stream_emits metric. */
+void noteStreamEmit();
+
+} // namespace detail
+
+template <typename T>
+class Sink
+{
+  public:
+    /** (index, item): index = the item's slot in the final result. */
+    using Callback = std::function<void(std::size_t, const T &)>;
+
+    /** Disabled sink; emit() is a no-op. */
+    Sink() = default;
+
+    explicit Sink(Callback callback)
+        : state_(std::make_shared<detail::SinkState>()),
+          callback_(
+              std::make_shared<Callback>(std::move(callback)))
+    {
+    }
+
+    /** True when a callback is attached. */
+    explicit operator bool() const { return callback_ != nullptr; }
+
+    /**
+     * Deliver one completed item. Serialized across threads; safe to
+     * call from any worker. No-op on a disabled sink.
+     */
+    void emit(std::size_t index, const T &item) const
+    {
+        if (!callback_)
+            return;
+        std::lock_guard<std::mutex> lock(state_->mutex);
+        (*callback_)(index, item);
+        ++state_->emitted;
+        detail::noteStreamEmit();
+    }
+
+    /** Deliveries so far (0 for a disabled sink). */
+    std::size_t emitted() const
+    {
+        if (!state_)
+            return 0;
+        std::lock_guard<std::mutex> lock(state_->mutex);
+        return state_->emitted;
+    }
+
+  private:
+    std::shared_ptr<detail::SinkState> state_;
+    std::shared_ptr<Callback> callback_;
+};
+
+} // namespace qpad::exec
+
+#endif // QPAD_EXEC_STREAM_HH

@@ -54,6 +54,7 @@
 #include <utility>
 #include <vector>
 
+#include "exec/cancel.hh"
 #include "obs/metrics.hh"
 #include "runtime/region.hh"
 #include "runtime/thread_pool.hh"
@@ -89,6 +90,16 @@ struct Options
      * concurrently — give them their own sink or none).
      */
     RegionStats *stats = nullptr;
+
+    /**
+     * Optional cooperative stop signal (null = unlimited), polled at
+     * chunk-claim boundaries. A stop surfaces as exec::CancelledError
+     * through the region's first-error-wins path; it never interrupts
+     * a chunk mid-flight, so a region that completes is bit-identical
+     * to an uncancelled one. Usually attached via
+     * exec::Context::apply() rather than set by hand.
+     */
+    const exec::CancelToken *cancel = nullptr;
 };
 
 /** Resolve Options::num_threads (0 -> hardware concurrency);
@@ -158,6 +169,7 @@ parallel_for(const Options &options, std::size_t n, std::size_t grain,
         // the full region either way).
         detail::sequentialStats(options.stats, chunks);
         for (std::size_t c = 0; c < chunks; ++c) {
+            exec::throwIfStopped(options.cancel);
             const auto [begin, end] = plan.bounds(c);
             body(begin, end, c);
         }
@@ -168,7 +180,7 @@ parallel_for(const Options &options, std::size_t n, std::size_t grain,
                           const auto [begin, end] = plan.bounds(c);
                           body(begin, end, c);
                       },
-                      options.stats);
+                      options.cancel, options.stats);
 }
 
 /**
@@ -195,6 +207,7 @@ parallel_reduce(const Options &options, std::size_t n, std::size_t grain,
     if (threads <= 1) {
         detail::sequentialStats(options.stats, chunks);
         for (std::size_t c = 0; c < chunks; ++c) {
+            exec::throwIfStopped(options.cancel);
             const auto [begin, end] = plan.bounds(c);
             partials[c] = map(begin, end, c);
         }
@@ -204,7 +217,7 @@ parallel_reduce(const Options &options, std::size_t n, std::size_t grain,
                               const auto [begin, end] = plan.bounds(c);
                               partials[c] = map(begin, end, c);
                           },
-                          options.stats);
+                          options.cancel, options.stats);
     }
     T result = std::move(identity);
     for (std::size_t c = 0; c < chunks; ++c)

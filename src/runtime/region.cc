@@ -46,9 +46,10 @@ publishRegion(const RegionStats &stats, double seconds)
 } // namespace
 
 RegionState::RegionState(std::size_t runners, std::size_t chunks,
-                         std::function<void(std::size_t)> run_chunk)
+                         std::function<void(std::size_t)> run_chunk,
+                         const exec::CancelToken *cancel)
     : run_chunk_(std::move(run_chunk)), runners_(runners),
-      pending_(chunks), claimed_(runners)
+      cancel_(cancel), pending_(chunks), claimed_(runners)
 {
     qpad_assert(runners >= 1, "region needs at least one runner");
     deques_.reserve(runners);
@@ -92,6 +93,26 @@ RegionState::runAs(std::size_t id)
             // qpad-lint: allow(atomic-relaxed) "monotonic stat
             // counter; never synchronizes data"
             steals_.fetch_add(1, std::memory_order_relaxed);
+        }
+        // Cancellation poll at the chunk-claim boundary — strictly
+        // AFTER the claim: the claimed chunk keeps pending_ > 0,
+        // which pins the region's caller in waitDone and thereby
+        // keeps the (caller-owned, often stack-resident) token
+        // alive. A late helper that finds the deques drained breaks
+        // out above without ever touching cancel_. A stop is
+        // recorded through the first-error-wins path, so from here
+        // on the remaining chunks are claimed-but-skipped: the
+        // deques drain, pending_ reaches zero, and the caller wakes
+        // holding a CancelledError. Never mid-chunk — a chunk that
+        // started always finishes, which is what keeps completed
+        // results bit-identical to uncancelled runs.
+        // qpad-lint: allow(atomic-relaxed) "best-effort skip flag;
+        // the error itself is published under error_mutex_"
+        if (cancel_ != nullptr &&
+            !failed_.load(std::memory_order_relaxed)) {
+            const exec::StopReason reason = cancel_->stopReason();
+            if (reason != exec::StopReason::kNone)
+                recordStop(reason);
         }
         // After a failure the remaining chunks are claimed but
         // skipped, so pending_ still drains and waiters wake.
@@ -157,6 +178,22 @@ RegionState::waitDone()
     done_cv_.wait(lock, [this] {
         return pending_.load(std::memory_order_acquire) == 0;
     });
+    // Disarm before returning, not in finishChunk: the caller may
+    // destroy the pool the instant this returns, and the decrement
+    // must be ordered before that (a finishing runner decrementing
+    // after our wakeup would race the pool's destructor tripwire).
+    if (finished_signal_ != nullptr) {
+        finished_signal_->fetch_sub(1, std::memory_order_seq_cst);
+        finished_signal_ = nullptr;
+    }
+}
+
+void
+RegionState::armFinishedSignal(std::atomic<std::size_t> &counter)
+{
+    // Pre-dispatch only (single-threaded); the pool's enqueue mutexes
+    // publish the pointer to whichever thread later runs waitDone.
+    finished_signal_ = &counter;
 }
 
 void
@@ -181,6 +218,25 @@ RegionState::recordError()
         std::lock_guard<std::mutex> lock(error_mutex_);
         if (!error_)
             error_ = std::current_exception();
+    }
+    // qpad-lint: allow(atomic-relaxed) "best-effort skip hint; the
+    // exception is published under error_mutex_ above"
+    failed_.store(true, std::memory_order_relaxed);
+}
+
+void
+RegionState::recordStop(exec::StopReason reason)
+{
+    {
+        std::lock_guard<std::mutex> lock(error_mutex_);
+        // First error wins: a stop that loses to an earlier chunk
+        // exception (or an earlier stop) bumps no counter, so
+        // exec.cancelled counts stopped regions, not polls.
+        if (!error_) {
+            error_ = std::make_exception_ptr(
+                exec::CancelledError(reason));
+            exec::noteStopped(reason);
+        }
     }
     // qpad-lint: allow(atomic-relaxed) "best-effort skip hint; the
     // exception is published under error_mutex_ above"
@@ -229,7 +285,7 @@ RegionState::rethrowIfFailed()
 void
 runRegion(std::size_t chunks, std::size_t threads, bool guided,
           std::function<void(std::size_t)> run_chunk,
-          RegionStats *stats)
+          const exec::CancelToken *cancel, RegionStats *stats)
 {
     qpad_assert(threads >= 2 && threads <= chunks,
                 "runRegion caller must pre-clamp the runner count");
@@ -237,8 +293,8 @@ runRegion(std::size_t chunks, std::size_t threads, bool guided,
     // qpad-lint: allow(no-wallclock) "region duration metric only;
     // never steers scheduling or results"
     const auto region_begin = clock::now();
-    auto region = std::make_shared<RegionState>(threads, chunks,
-                                                std::move(run_chunk));
+    auto region = std::make_shared<RegionState>(
+        threads, chunks, std::move(run_chunk), cancel);
 
     // Initial deal. Guided: strided, so every runner starts with a
     // mix of large (early) and small (late) chunks and the expensive

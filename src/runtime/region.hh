@@ -33,6 +33,7 @@
 #include <utility>
 #include <vector>
 
+#include "exec/cancel.hh"
 #include "runtime/chunk_deque.hh"
 
 namespace qpad::runtime
@@ -132,8 +133,19 @@ class ChunkPlan
 class RegionState
 {
   public:
+    /**
+     * `cancel` (may be null = unlimited) is polled at every
+     * chunk-claim boundary: once it reports a stop, the remaining
+     * chunks are claimed-but-skipped — the deques still drain and
+     * pending_ still reaches zero — and a CancelledError is captured
+     * through the same first-error-wins path a throwing chunk uses.
+     * The token only needs to outlive the caller's waitDone(): the
+     * poll happens strictly after a successful claim (which pins the
+     * caller), so a late helper that finds no work never reads it.
+     */
     RegionState(std::size_t runners, std::size_t chunks,
-                std::function<void(std::size_t)> run_chunk);
+                std::function<void(std::size_t)> run_chunk,
+                const exec::CancelToken *cancel);
 
     /** Runner count (deques); runner 0 is the caller. */
     std::size_t runners() const { return runners_; }
@@ -154,8 +166,20 @@ class RegionState
     void runAs(std::size_t id);
 
     /** Block (condition variable, no polling) until every chunk has
-     * finished executing. */
+     * finished executing. Also disarms the finished signal: by the
+     * time this returns, the pool no longer counts the region as
+     * active, so the caller may tear the pool down immediately. */
     void waitDone();
+
+    /**
+     * Arm a one-shot countdown that waitDone() decrements once every
+     * chunk has finished. dispatchRegion points this at the pool's
+     * active-region counter, so a region is "active" from dispatch
+     * until its caller has observed completion — helper items that
+     * outlive a finished region (by design; see the lifetime notes
+     * above) keep the count at zero. Call before dispatch only.
+     */
+    void armFinishedSignal(std::atomic<std::size_t> &counter);
 
     /** Fold `seconds` into the max-idle statistic. */
     void recordIdle(double seconds);
@@ -182,9 +206,14 @@ class RegionState
 
     void recordError();
 
+    /** Capture a CancelledError(reason) as the region's first error
+     * (no-op if a chunk already failed) and set the skip flag. */
+    void recordStop(exec::StopReason reason);
+
     std::function<void(std::size_t)> run_chunk_;
     std::vector<std::unique_ptr<ChunkDeque>> deques_;
     std::size_t runners_;
+    const exec::CancelToken *cancel_;
 
     std::atomic<std::size_t> pending_;
     std::atomic<std::size_t> next_runner_{1};
@@ -195,6 +224,9 @@ class RegionState
 
     std::mutex done_mutex_;
     std::condition_variable done_cv_;
+    /** Armed before dispatch, read/cleared under done_mutex_ in
+     * waitDone (null = never dispatched or already disarmed). */
+    std::atomic<std::size_t> *finished_signal_ = nullptr;
 
     // Scheduler statistics (relaxed counters; read after waitDone).
     std::atomic<std::size_t> steals_{0};
@@ -208,11 +240,13 @@ class RegionState
  * the initial chunk-to-runner deal (strided for guided sizing so
  * every runner starts with a mix of sizes, contiguous otherwise for
  * locality). The first exception thrown by any chunk is rethrown in
- * the caller after every chunk has finished or been skipped.
+ * the caller after every chunk has finished or been skipped; a stop
+ * signalled through `cancel` (null = unlimited) surfaces the same
+ * way, as a CancelledError.
  */
 void runRegion(std::size_t chunks, std::size_t threads, bool guided,
                std::function<void(std::size_t)> run_chunk,
-               RegionStats *stats);
+               const exec::CancelToken *cancel, RegionStats *stats);
 
 } // namespace detail
 

@@ -1,6 +1,8 @@
 #include "runtime/thread_pool.hh"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 
 #include "common/logging.hh"
 #include "runtime/region.hh"
@@ -32,6 +34,22 @@ ThreadPool::ThreadPool(std::size_t num_threads)
 
 ThreadPool::~ThreadPool()
 {
+    // Tearing the pool down mid-region can deadlock the join below
+    // against the region's caller (blocked in waitDone, fed by the
+    // helpers we are about to stop), and qpad_panic throws — which a
+    // noexcept destructor turns into a bare std::terminate. Fail
+    // loudly and unambiguously instead (see the ~ThreadPool doc).
+    if (active_regions_.load(std::memory_order_seq_cst) != 0) {
+        std::fprintf(stderr,
+                     "qpad: fatal: ThreadPool destroyed while a "
+                     "parallel region is still active (%zu "
+                     "region(s) dispatched without an observed "
+                     "completion); a pool must outlive every "
+                     "region dispatched to it\n",
+                     activeRegions());
+        std::fflush(stderr);
+        std::abort();
+    }
     stopping_.store(true, std::memory_order_seq_cst);
     for (auto &slot : slots_) {
         // Taking the lock pairs with the waiter's predicate check,
@@ -55,6 +73,8 @@ ThreadPool::enqueueOn(std::size_t worker, Item item)
         // destructor's seq_cst store makes a true value stick"
         qpad_assert(!stopping_.load(std::memory_order_relaxed),
                     "enqueue on a stopping ThreadPool");
+        if (item.region)
+            region_items_.fetch_add(1, std::memory_order_seq_cst);
         slot.queue.push_back(std::move(item));
         // qpad-lint: allow(atomic-relaxed) "counter is ordered by the
         // slot mutex held here; see the pairing note below"
@@ -123,6 +143,12 @@ ThreadPool::dispatchRegion(std::shared_ptr<detail::RegionState> region,
 {
     const std::size_t n = slots_.size();
     const bool on_worker = t_pool == this;
+    // Count the region as active until its caller observes
+    // completion: waitDone decrements through the armed signal, so
+    // the destructor tripwire covers dispatch → observed-complete,
+    // not the (longer, harmless) lifetime of late helper items.
+    active_regions_.fetch_add(1, std::memory_order_seq_cst);
+    region->armFinishedSignal(active_regions_);
     // qpad-lint: allow(atomic-relaxed) "placement hint only; any
     // interleaving of tickets spreads load acceptably"
     const std::size_t start =
@@ -196,10 +222,12 @@ ThreadPool::stealOther(std::size_t worker, Item &out)
 void
 ThreadPool::runItem(Item &item)
 {
-    if (item.region)
+    if (item.region) {
         item.region->helperEntry();
-    else
+        region_items_.fetch_sub(1, std::memory_order_seq_cst);
+    } else {
         item.task(); // exceptions land in the matching future
+    }
 }
 
 void

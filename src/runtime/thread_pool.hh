@@ -48,8 +48,21 @@ class ThreadPool
     /** Spawn `num_threads` workers (>= 1). */
     explicit ThreadPool(std::size_t num_threads);
 
-    /** Pending tasks are completed before exit (each worker drains
-     * its own slot once stopping is signalled). */
+    /**
+     * Pending one-shot tasks are completed before exit (each worker
+     * drains its own slot once stopping is signalled), and helper
+     * items whose region already finished retire during the join —
+     * a region counts as active from dispatchRegion until its
+     * caller's waitDone returns, not until the last helper retires.
+     *
+     * Destroying a pool while a region is still active (dispatched,
+     * completion not yet observed) is a documented loud failure
+     * (stderr message + std::abort), never a hang: the region's
+     * caller is blocked in waitDone() fed by the helpers we would
+     * stop, so joining the workers could deadlock against it, and
+     * throwing from a destructor would terminate with no message.
+     * Hitting this means a pool was torn down mid-region.
+     */
     ~ThreadPool();
 
     ThreadPool(const ThreadPool &) = delete;
@@ -86,6 +99,22 @@ class ThreadPool
      */
     static ThreadPool &global();
 
+    /** Region helper items queued or executing right now. Nonzero
+     * after a region completed is normal (late helpers retire on
+     * their own schedule) and safe to destruct through. */
+    std::size_t activeRegionItems() const
+    {
+        return region_items_.load(std::memory_order_seq_cst);
+    }
+
+    /** Regions dispatched whose caller has not yet observed
+     * completion through waitDone; nonzero at destruction is the
+     * documented abort (see ~ThreadPool). */
+    std::size_t activeRegions() const
+    {
+        return active_regions_.load(std::memory_order_seq_cst);
+    }
+
   private:
     /** One queued work item: exactly one of the two is set. */
     struct Item
@@ -113,7 +142,7 @@ class ThreadPool
     void workerLoop(std::size_t worker);
     bool popOwn(std::size_t worker, Item &out);
     bool stealOther(std::size_t worker, Item &out);
-    static void runItem(Item &item);
+    void runItem(Item &item);
 
     /** Push to `worker`'s slot and wake it. */
     void enqueueOn(std::size_t worker, Item item);
@@ -126,6 +155,16 @@ class ThreadPool
      * worker's wait predicate see stealable work behind a busy
      * sibling instead of sleeping through it. */
     std::atomic<std::size_t> queued_{0};
+    /** Region helper items queued or executing (enqueueOn increments,
+     * runItem decrements after helperEntry returns). Observability
+     * only — late retirees keep this nonzero past region completion,
+     * so it cannot serve as the destructor tripwire. */
+    std::atomic<std::size_t> region_items_{0};
+    /** Regions dispatched whose caller has not yet returned from
+     * waitDone (dispatchRegion increments and arms the region's
+     * finished signal; RegionState::waitDone decrements); the
+     * destructor's active-region tripwire. */
+    std::atomic<std::size_t> active_regions_{0};
 };
 
 } // namespace qpad::runtime

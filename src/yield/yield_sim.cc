@@ -64,7 +64,7 @@ YieldResult::stderrEstimate() const
 YieldResult
 estimateYield(const CollisionChecker &checker,
               const std::vector<double> &pre_fab_freqs,
-              const YieldOptions &options)
+              const YieldOptions &options, const exec::Context &ctx)
 {
     for (double f : pre_fab_freqs)
         qpad_assert(f > 0.0, "unassigned frequency in yield simulation");
@@ -127,7 +127,8 @@ estimateYield(const CollisionChecker &checker,
     // affects wall clock only, never the tallies.
     const runtime::SeedSequence seeds(options.seed);
     ShardCounts totals = runtime::parallel_reduce(
-        options.exec, options.trials, kShardTrials, ShardCounts{},
+        ctx.apply(options.exec), options.trials, kShardTrials,
+        ShardCounts{},
         [&](std::size_t begin, std::size_t end, std::size_t shard) {
             ShardCounts local;
             const std::size_t nq = pre_fab_freqs.size();
@@ -201,13 +202,14 @@ estimateYield(const CollisionChecker &checker,
 }
 
 YieldResult
-estimateYield(const arch::Architecture &arch, const YieldOptions &options)
+estimateYield(const arch::Architecture &arch, const YieldOptions &options,
+              const exec::Context &ctx)
 {
     qpad_assert(arch.frequenciesAssigned(),
                 "architecture '", arch.name(),
                 "' has unassigned frequencies");
     CollisionChecker checker(arch, options.model);
-    return estimateYield(checker, arch.frequencies(), options);
+    return estimateYield(checker, arch.frequencies(), options, ctx);
 }
 
 LocalYieldSimulator::LocalYieldSimulator(
@@ -362,7 +364,8 @@ LocalYieldSimulator::simulate(const std::vector<double> &freqs,
                               double sigma_ghz, std::size_t trials,
                               uint64_t seed,
                               const runtime::Options &exec,
-                              RngScheme scheme) const
+                              RngScheme scheme,
+                              const qpad::exec::Context &ctx) const
 {
     if (pairs_.empty() && triples_.empty())
         return 1.0;
@@ -378,7 +381,7 @@ LocalYieldSimulator::simulate(const std::vector<double> &freqs,
     const RngScheme active = resolveRngScheme(scheme);
     const runtime::SeedSequence seeds(seed);
     std::size_t successes = runtime::parallel_reduce(
-        exec, trials, kShardTrials, std::size_t{0},
+        ctx.apply(exec), trials, kShardTrials, std::size_t{0},
         [&](std::size_t begin, std::size_t end, std::size_t shard) {
             if (active == RngScheme::kV2) {
                 GaussianBlockSampler sampler(seeds.childSeed(shard));

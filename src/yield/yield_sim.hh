@@ -16,6 +16,7 @@
 #include "arch/architecture.hh"
 #include "common/gauss_block.hh"
 #include "common/rng.hh"
+#include "exec/context.hh"
 #include "runtime/parallel.hh"
 #include "yield/collision.hh"
 #include "yield/collision_batch.hh"
@@ -80,13 +81,17 @@ struct YieldResult
  * QPAD_RNG_V1. options.trials == 0 returns a zero-trial result
  * (yield 0, stderr 0) instead of dividing by zero.
  */
-YieldResult estimateYield(const arch::Architecture &arch,
-                          const YieldOptions &options = {});
+YieldResult
+estimateYield(const arch::Architecture &arch,
+              const YieldOptions &options = {},
+              const exec::Context &ctx = exec::Context::none());
 
 /** Same, reusing a prebuilt checker (hot path of Algorithm 3). */
-YieldResult estimateYield(const CollisionChecker &checker,
-                          const std::vector<double> &pre_fab_freqs,
-                          const YieldOptions &options = {});
+YieldResult
+estimateYield(const CollisionChecker &checker,
+              const std::vector<double> &pre_fab_freqs,
+              const YieldOptions &options = {},
+              const exec::Context &ctx = exec::Context::none());
 
 /**
  * Local yield estimator used by the frequency allocator: only the
@@ -125,12 +130,17 @@ class LocalYieldSimulator
      * The returned fraction is independent of the thread count.
      * Same zero-trial, batching, and draw-scheme semantics as
      * above (under kV2 each shard's sampler is seeded with the
-     * shard's child seed directly).
+     * shard's child seed directly). A cancelled/expired `ctx` stops
+     * between shards (never mid-shard; see exec/context.hh).
      */
+    // (Context fully qualified: the `exec` parameter name shadows
+    // the qpad::exec namespace for the rest of the parameter list.)
     double simulate(const std::vector<double> &freqs, double sigma_ghz,
                     std::size_t trials, uint64_t seed,
                     const runtime::Options &exec,
-                    RngScheme scheme = RngScheme::kV2) const;
+                    RngScheme scheme = RngScheme::kV2,
+                    const qpad::exec::Context &ctx =
+                        qpad::exec::Context::none()) const;
 
   private:
     /** Walk the local terms over `post`; true iff none collides. */

@@ -7,10 +7,13 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <filesystem>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "arch/ibm.hh"
@@ -296,6 +299,170 @@ TEST(Store, ConcurrentAccessUnderThreadPool)
     const cache::StoreStats s = store.stats();
     EXPECT_EQ(s.entries, kKeys);
     EXPECT_GE(s.inserts, kKeys);
+}
+
+// --------------------------------------------------------------------
+// Store: in-flight dedup (getOrCompute)
+// --------------------------------------------------------------------
+
+TEST(StoreDedup, UncontendedOwnerPathMatchesReadThrough)
+{
+    // Without contention, getOrCompute must be counter-identical to
+    // the classic get-miss / compute / put sequence, so the exact-
+    // count assertions of the cached front-end tests keep holding.
+    cache::Store store;
+    int computes = 0;
+    const auto compute = [&] {
+        ++computes;
+        return std::vector<uint8_t>{1, 2, 3};
+    };
+    EXPECT_EQ(store.getOrCompute(keyOf(1), compute),
+              (std::vector<uint8_t>{1, 2, 3}));
+    EXPECT_EQ(computes, 1);
+    cache::StoreStats s = store.stats();
+    EXPECT_EQ(s.misses, 1u);
+    EXPECT_EQ(s.inserts, 1u);
+    EXPECT_EQ(s.hits, 0u);
+    EXPECT_EQ(s.dedup_waits, 0u);
+
+    EXPECT_EQ(store.getOrCompute(keyOf(1), compute),
+              (std::vector<uint8_t>{1, 2, 3}));
+    EXPECT_EQ(computes, 1) << "warm call must not recompute";
+    s = store.stats();
+    EXPECT_EQ(s.hits, 1u);
+    EXPECT_EQ(s.misses, 1u);
+    EXPECT_EQ(s.inserts, 1u);
+    EXPECT_EQ(s.dedup_waits, 0u);
+}
+
+TEST(StoreDedup, ConcurrentIdenticalRequestsComputeExactlyOnce)
+{
+    cache::Store store;
+    constexpr std::size_t kWaiters = 3;
+    std::atomic<int> computes{0};
+    const auto key = keyOf(42);
+
+    // The owner's computation stays open until every waiter has
+    // registered on the in-flight entry (bounded at ~2 s so a
+    // scheduling hiccup degrades the assertion, never hangs it).
+    const auto compute = [&] {
+        ++computes;
+        for (int spin = 0;
+             store.stats().dedup_waits < kWaiters && spin < 2000;
+             ++spin)
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        return std::vector<uint8_t>{7, 7};
+    };
+
+    std::vector<std::vector<uint8_t>> results(kWaiters + 1);
+    std::thread owner(
+        [&] { results[0] = store.getOrCompute(key, compute); });
+    while (computes.load() == 0)
+        std::this_thread::yield();
+    std::vector<std::thread> waiters;
+    for (std::size_t i = 1; i <= kWaiters; ++i)
+        waiters.emplace_back([&store, &results, &key, &compute, i] {
+            results[i] = store.getOrCompute(key, compute);
+        });
+    for (std::thread &t : waiters)
+        t.join();
+    owner.join();
+
+    EXPECT_EQ(computes.load(), 1)
+        << "identical concurrent requests must share one computation";
+    for (const auto &r : results)
+        EXPECT_EQ(r, (std::vector<uint8_t>{7, 7}));
+    const cache::StoreStats s = store.stats();
+    EXPECT_EQ(s.inserts, 1u);
+    EXPECT_EQ(s.dedup_waits, kWaiters);
+}
+
+TEST(StoreDedup, CancellingAWaiterNeverDisturbsTheOwner)
+{
+    cache::Store store;
+    exec::CancelToken waiter_token;
+    std::atomic<int> computes{0};
+    const auto key = keyOf(9);
+
+    std::thread owner([&] {
+        const auto r = store.getOrCompute(key, [&] {
+            ++computes;
+            // Wait for the waiter to register, cancel it, and keep
+            // computing: the waiter's stop is its own business.
+            for (int spin = 0;
+                 store.stats().dedup_waits < 1 && spin < 2000; ++spin)
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(1));
+            waiter_token.cancel();
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(30));
+            return std::vector<uint8_t>{5};
+        });
+        EXPECT_EQ(r, (std::vector<uint8_t>{5}));
+    });
+
+    while (computes.load() == 0)
+        std::this_thread::yield();
+    bool waiter_cancelled = false;
+    try {
+        store.getOrCompute(
+            key,
+            [&]() -> std::vector<uint8_t> {
+                ADD_FAILURE() << "the waiter must never compute";
+                return {};
+            },
+            &waiter_token);
+    } catch (const exec::CancelledError &) {
+        waiter_cancelled = true;
+    }
+    owner.join();
+
+    EXPECT_TRUE(waiter_cancelled);
+    EXPECT_EQ(computes.load(), 1);
+    std::vector<uint8_t> blob;
+    EXPECT_TRUE(store.get(key, blob))
+        << "the owner's result must land in the cache";
+    EXPECT_EQ(blob, (std::vector<uint8_t>{5}));
+}
+
+TEST(StoreDedup, OwnerFailurePromotesAWaiter)
+{
+    cache::Store store;
+    std::atomic<int> attempts{0};
+    const auto key = keyOf(13);
+
+    std::thread owner([&] {
+        EXPECT_THROW(
+            store.getOrCompute(
+                key,
+                [&]() -> std::vector<uint8_t> {
+                    ++attempts;
+                    for (int spin = 0; store.stats().dedup_waits < 1 &&
+                                       spin < 2000;
+                         ++spin)
+                        std::this_thread::sleep_for(
+                            std::chrono::milliseconds(1));
+                    throw std::runtime_error("owner boom");
+                },
+                nullptr),
+            std::runtime_error);
+    });
+
+    while (attempts.load() == 0)
+        std::this_thread::yield();
+    // The waiter outlives the owner's failure: it wakes, finds no
+    // cached value, takes ownership, and computes.
+    const auto r = store.getOrCompute(key, [&] {
+        ++attempts;
+        return std::vector<uint8_t>{8, 8};
+    });
+    owner.join();
+
+    EXPECT_EQ(r, (std::vector<uint8_t>{8, 8}));
+    EXPECT_EQ(attempts.load(), 2);
+    std::vector<uint8_t> blob;
+    EXPECT_TRUE(store.get(key, blob));
+    EXPECT_EQ(blob, (std::vector<uint8_t>{8, 8}));
 }
 
 // --------------------------------------------------------------------

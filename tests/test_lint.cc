@@ -47,6 +47,9 @@ extensions = [".cc", ".hh"]
 
 [rng]
 sanctioned = ["test.cc:sanctionedHelper"]
+
+[wallclock]
+sanctioned = ["test.cc:sanctionedNow"]
 )");
     EXPECT_TRUE(cfg.ok) << cfg.error;
     return cfg;
@@ -279,6 +282,47 @@ TEST(LintNoWallclock, SilentOnMembersAndOtherNames)
     EXPECT_EQ(countRule(analyze("auto x = timer();\n"),
                         "no-wallclock"),
               0u);
+}
+
+TEST(LintNoWallclock, SanctionedHelperIsSilent)
+{
+    // The [wallclock] allowlist mirrors the RNG one: clock reads in
+    // "file:function" entries are policy, not findings. This is how
+    // exec::now() (the deadline clock) passes the gate.
+    const FileReport rep =
+        analyze("std::int64_t sanctionedNow()\n"
+                "{\n"
+                "    return steady_clock::now().time_since_epoch()\n"
+                "        .count();\n"
+                "}\n");
+    EXPECT_EQ(countRule(rep, "no-wallclock"), 0u);
+}
+
+TEST(LintNoWallclock, FiresOutsideSanctionedHelpers)
+{
+    // The identical read in any other function still fires — the
+    // allowlist sanctions one helper, not the clock itself.
+    const FileReport rep =
+        analyze("std::int64_t rogueNow()\n"
+                "{\n"
+                "    return steady_clock::now().time_since_epoch()\n"
+                "        .count();\n"
+                "}\n");
+    EXPECT_EQ(countRule(rep, "no-wallclock"), 1u);
+}
+
+TEST(LintNoWallclock, SanctionIsPerFileNotPerName)
+{
+    // Entries are "basename:function": the same function name in a
+    // different file is NOT sanctioned.
+    const FileReport rep = qlint::analyzeFile(
+        "src/other.cc",
+        "std::int64_t sanctionedNow()\n"
+        "{\n"
+        "    return steady_clock::now().time_since_epoch().count();\n"
+        "}\n",
+        testConfig());
+    EXPECT_EQ(countRule(rep, "no-wallclock"), 1u);
 }
 
 TEST(LintNoUninit, FiresOnRawAllocations)

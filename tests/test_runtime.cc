@@ -15,6 +15,7 @@
 #include <set>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "arch/ibm.hh"
@@ -80,6 +81,60 @@ TEST(ThreadPool, SubmitFuturePropagatesException)
     // The pool survives a throwing task.
     auto ok = pool.submit([] {});
     EXPECT_NO_THROW(ok.get());
+}
+
+TEST(ThreadPool, DestructionAfterRegionRetiresIsClean)
+{
+    // A locally-constructed pool may be destroyed the moment its
+    // caller returns from waitDone: the region is no longer counted
+    // active, even though a late helper item may still be queued or
+    // retiring (the destructor's join lets it retire harmlessly).
+    ThreadPool pool(2);
+    std::atomic<std::size_t> hits{0};
+    auto state = std::make_shared<runtime::detail::RegionState>(
+        2, 4, [&](std::size_t) { ++hits; }, nullptr);
+    state->loadDeque(0, {0, 2});
+    state->loadDeque(1, {1, 3});
+    pool.dispatchRegion(state, 1);
+    EXPECT_EQ(pool.activeRegions(), 1u);
+    state->runAs(0);
+    state->waitDone();
+    state->rethrowIfFailed();
+    EXPECT_EQ(hits.load(), 4u);
+    EXPECT_EQ(pool.activeRegions(), 0u);
+    // No wait on activeRegionItems(): destructing through a late
+    // helper is exactly the case the active-region tripwire permits.
+}
+
+TEST(ThreadPoolDeathTest, DestructionDuringActiveRegionAborts)
+{
+    // Tearing a pool down while a region helper is mid-chunk must be
+    // the documented loud failure — message on stderr, then abort —
+    // never a silent hang (the old failure mode: the destructor
+    // joins workers that are blocked feeding a region whose caller
+    // waits forever).
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    EXPECT_DEATH(
+        {
+            ThreadPool pool(2);
+            std::atomic<bool> started{false};
+            auto state =
+                std::make_shared<runtime::detail::RegionState>(
+                    2, 2,
+                    [&](std::size_t) {
+                        started.store(true);
+                        for (;;)
+                            std::this_thread::sleep_for(
+                                std::chrono::hours(1));
+                    },
+                    nullptr);
+            state->loadDeque(1, {0, 1});
+            pool.dispatchRegion(state, 1);
+            while (!started.load())
+                std::this_thread::yield();
+            // The pool destructor runs here, mid-chunk.
+        },
+        "ThreadPool destroyed while a parallel region");
 }
 
 // --------------------------------------------------------------------
@@ -386,6 +441,128 @@ TEST(StealingExceptions, FirstErrorWinsIsOneOfTheThrown)
     } catch (const std::runtime_error &e) {
         EXPECT_TRUE(thrown.count(e.what())) << e.what();
     }
+}
+
+// --------------------------------------------------------------------
+// Cooperative cancellation at chunk-claim boundaries
+// --------------------------------------------------------------------
+
+TEST(Cancellation, PreStoppedTokenRunsNoChunk)
+{
+    // A token that is already stopped fails the region before the
+    // first chunk-claim, sequential and parallel alike.
+    for (std::size_t threads : {1u, 4u}) {
+        for (const bool deadline : {false, true}) {
+            exec::CancelToken tok;
+            if (deadline)
+                tok.setDeadline(exec::now() -
+                                std::chrono::nanoseconds(1));
+            else
+                tok.cancel();
+            Options opts{threads};
+            opts.cancel = &tok;
+            std::atomic<std::size_t> executed{0};
+            try {
+                runtime::parallel_for(
+                    opts, 100, 1,
+                    [&](std::size_t, std::size_t, std::size_t) {
+                        ++executed;
+                    });
+                FAIL() << "expected CancelledError";
+            } catch (const exec::CancelledError &e) {
+                EXPECT_EQ(e.reason(),
+                          deadline
+                              ? exec::StopReason::kDeadlineExceeded
+                              : exec::StopReason::kCancelled);
+            }
+            EXPECT_EQ(executed.load(), 0u);
+        }
+    }
+}
+
+TEST(Cancellation, CancelFromInsideARegionSkipsTheRemainder)
+{
+    // The first executed chunk cancels the token; every later claim
+    // observes the stop and is skipped, so the region unwinds with
+    // CancelledError after a small fraction of the range.
+    for (std::size_t threads : {1u, 4u}) {
+        exec::CancelToken tok;
+        Options opts{threads};
+        opts.cancel = &tok;
+        std::atomic<std::size_t> executed{0};
+        try {
+            runtime::parallel_for(
+                opts, 1000, 1,
+                [&](std::size_t, std::size_t, std::size_t) {
+                    ++executed;
+                    tok.cancel();
+                });
+            FAIL() << "expected CancelledError";
+        } catch (const exec::CancelledError &e) {
+            EXPECT_EQ(e.reason(), exec::StopReason::kCancelled);
+        }
+        // A chunk per runner can already be in flight when the stop
+        // lands, but the bulk of the range must be skipped.
+        EXPECT_LT(executed.load(), 1000u) << threads;
+    }
+}
+
+TEST(Cancellation, ExternalCancelRace)
+{
+    // TSan-stressed: another thread cancels while workers claim
+    // chunks. Either outcome (completed or cancelled) is legal; the
+    // invariants are no torn state and a correctly-typed error.
+    for (int round = 0; round < 8; ++round) {
+        exec::CancelToken tok;
+        Options opts{4};
+        opts.cancel = &tok;
+        std::atomic<std::size_t> executed{0};
+        std::thread canceller([&tok] { tok.cancel(); });
+        bool cancelled = false;
+        try {
+            runtime::parallel_for(
+                opts, 400, 1,
+                [&](std::size_t, std::size_t, std::size_t) {
+                    ++executed;
+                });
+        } catch (const exec::CancelledError &e) {
+            cancelled = true;
+            EXPECT_EQ(e.reason(), exec::StopReason::kCancelled);
+        }
+        canceller.join();
+        if (!cancelled)
+            EXPECT_EQ(executed.load(), 400u);
+        else
+            EXPECT_LE(executed.load(), 400u);
+    }
+}
+
+TEST(Cancellation, BenignTokenLeavesResultsBitIdentical)
+{
+    // The determinism contract: a token that never stops must not
+    // change a byte of the result at any thread count — the
+    // non-commutative fold exposes any scheduling disturbance.
+    exec::CancelToken tok;
+    tok.setDeadline(exec::now() + std::chrono::hours(1));
+    auto run = [&tok](std::size_t threads) {
+        Options opts{threads};
+        opts.cancel = &tok;
+        return runtime::parallel_reduce(
+            opts, 26, 0, std::string{},
+            [](std::size_t begin, std::size_t end, std::size_t) {
+                std::string s;
+                for (std::size_t i = begin; i < end; ++i)
+                    s += char('a' + i);
+                return s;
+            },
+            [](std::string acc, const std::string &x) {
+                return acc + x;
+            });
+    };
+    const std::string expect = "abcdefghijklmnopqrstuvwxyz";
+    EXPECT_EQ(run(1), expect);
+    EXPECT_EQ(run(4), expect);
+    EXPECT_EQ(run(13), expect);
 }
 
 // --------------------------------------------------------------------

@@ -122,6 +122,8 @@ parseConfig(std::string_view text)
             cfg.extensions = values;
         else if (section == "rng" && key == "sanctioned")
             cfg.sanctioned = values;
+        else if (section == "wallclock" && key == "sanctioned")
+            cfg.wallclock_sanctioned = values;
         else if (startsWith(section, "rule.")) {
             RulePolicy &p = cfg.rules[section.substr(5)];
             if (key == "include")

@@ -18,6 +18,9 @@
  *     [rng]
  *     sanctioned = ["yield_sim.cc:estimateYield", ...]
  *
+ *     [wallclock]
+ *     sanctioned = ["cancel.cc:now"]
+ *
  * A rule runs on a file iff its section exists, the file's
  * repo-relative path starts with one of `include` (empty include =
  * everywhere under the scanned roots), and starts with none of
@@ -48,6 +51,10 @@ struct Config
     std::map<std::string, RulePolicy> rules;
     /** "file-basename:function" pairs allowed to draw from Rng. */
     std::vector<std::string> sanctioned;
+    /** "file-basename:function" pairs allowed to read the clock
+     * (the exec::now() deadline helper; everything else must go
+     * through it or src/obs/). */
+    std::vector<std::string> wallclock_sanctioned;
 
     bool ok = false;
     std::string error;

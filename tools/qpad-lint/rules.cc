@@ -418,6 +418,19 @@ RuleRunner::ruleNoWallclock()
         "time",   "clock",    "gettimeofday", "clock_gettime",
         "localtime", "gmtime", "mktime",      "ctime",
         "asctime", "ftime"};
+    // Sanctioned clock-reading helpers ([wallclock] in the config,
+    // "file-basename:function" like the RNG allowlist): exec::now()
+    // is the one deliberate steady-clock read that deadlines are
+    // defined against. Reads elsewhere still fire — callers must go
+    // through the helper, which is the whole point of the rule.
+    const std::vector<std::string> funcs = enclosingFunctions(toks_);
+    const std::string base = basename(path_);
+    auto sanctioned = [&](std::size_t i) {
+        const std::string key = base + ":" + funcs[i];
+        return std::find(cfg_.wallclock_sanctioned.begin(),
+                         cfg_.wallclock_sanctioned.end(),
+                         key) != cfg_.wallclock_sanctioned.end();
+    };
     for (std::size_t i = 0; i < toks_.size(); ++i) {
         const Token &tk = toks_[i];
         if (tk.kind != Tok::kIdent)
@@ -432,6 +445,8 @@ RuleRunner::ruleNoWallclock()
              tk.text.compare(tk.text.size() - 6, 6, "_clock") == 0);
         if (clock_type && nx && isP(*nx, "::") &&
             at(i + 2) && isI(*at(i + 2), "now")) {
+            if (sanctioned(i))
+                continue;
             add("no-wallclock", tk.line,
                 "'" + tk.text +
                     "::now()' outside src/obs/ and bench/: wall-clock "
@@ -439,7 +454,8 @@ RuleRunner::ruleNoWallclock()
             continue;
         }
         const bool member = pv && (isP(*pv, ".") || isP(*pv, "->"));
-        if (calls.count(tk.text) && nx && isP(*nx, "(") && !member)
+        if (calls.count(tk.text) && nx && isP(*nx, "(") && !member &&
+            !sanctioned(i))
             add("no-wallclock", tk.line,
                 "'" + tk.text +
                     "()' outside src/obs/ and bench/: wall-clock time "
