@@ -22,6 +22,7 @@
 #include <bit>
 #include <chrono>
 #include <cstdio>
+#include <iostream>
 #include <vector>
 
 #include "arch/ibm.hh"

@@ -35,7 +35,10 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "eval/experiment.hh"
 #include "exec/context.hh"
@@ -162,6 +165,132 @@ requestContext()
         ctx.setDeadlineAfter(std::chrono::milliseconds(ms));
     return ctx;
 }
+
+/**
+ * Machine-readable bench results for the `--json <path>` flag: one
+ * `{"bench":...,"config":{...},"metrics":{...}}` object per run, so
+ * CI can archive the numbers it already prints as artifacts. Purely
+ * an extra output — the human-readable stdout is unchanged whether
+ * the flag is given or not, keeping the cmp-gated legs byte-stable.
+ * Keys render in insertion order; values are rendered at insert time
+ * (doubles with enough digits to round-trip).
+ */
+class BenchJson
+{
+  public:
+    explicit BenchJson(std::string bench) : bench_(std::move(bench)) {}
+
+    void config(const std::string &key, double v)
+    {
+        configs_.emplace_back(key, number(v));
+    }
+    void config(const std::string &key, unsigned long long v)
+    {
+        configs_.emplace_back(key, std::to_string(v));
+    }
+    void config(const std::string &key, unsigned long v)
+    {
+        config(key, (unsigned long long)v);
+    }
+    void config(const std::string &key, unsigned v)
+    {
+        config(key, (unsigned long long)v);
+    }
+    void config(const std::string &key, bool v)
+    {
+        configs_.emplace_back(key, v ? "true" : "false");
+    }
+    void config(const std::string &key, const std::string &v)
+    {
+        configs_.emplace_back(key, quoted(v));
+    }
+    void config(const std::string &key, const char *v)
+    {
+        configs_.emplace_back(key, quoted(v));
+    }
+
+    void metric(const std::string &key, double v)
+    {
+        metrics_.emplace_back(key, number(v));
+    }
+    void metric(const std::string &key, unsigned long long v)
+    {
+        metrics_.emplace_back(key, std::to_string(v));
+    }
+    void metric(const std::string &key, unsigned long v)
+    {
+        metric(key, (unsigned long long)v);
+    }
+    void metric(const std::string &key, unsigned v)
+    {
+        metric(key, (unsigned long long)v);
+    }
+    void metric(const std::string &key, bool v)
+    {
+        metrics_.emplace_back(key, v ? "true" : "false");
+    }
+    void metric(const std::string &key, const std::string &v)
+    {
+        metrics_.emplace_back(key, quoted(v));
+    }
+
+    /** Write the document; exits 2 on IO failure (a CI artifact that
+     * silently vanished would defeat the point of the flag). */
+    void writeTo(const std::string &path) const
+    {
+        std::ofstream out(path, std::ios::trunc);
+        if (!out) {
+            std::fprintf(stderr,
+                         "qpad bench: cannot write --json file "
+                         "'%s'\n",
+                         path.c_str());
+            std::exit(2);
+        }
+        out << "{\"bench\":" << quoted(bench_) << ",\"config\":{";
+        render(out, configs_);
+        out << "},\"metrics\":{";
+        render(out, metrics_);
+        out << "}}\n";
+    }
+
+  private:
+    using Entries =
+        std::vector<std::pair<std::string, std::string>>;
+
+    static std::string number(double v)
+    {
+        char buf[40];
+        std::snprintf(buf, sizeof buf, "%.17g", v);
+        return buf;
+    }
+
+    static std::string quoted(const std::string &s)
+    {
+        std::string out = "\"";
+        for (char c : s) {
+            if (c == '"' || c == '\\')
+                out += '\\';
+            out += c;
+        }
+        out += '"';
+        return out;
+    }
+
+    static void render(std::ostream &out, const Entries &entries)
+    {
+        bool first = true;
+        for (const auto &[key, value] : entries) {
+            if (!first)
+                out << ",";
+            first = false;
+            out << quoted(key) << ":" << value;
+        }
+    }
+
+    std::string bench_;
+    Entries configs_;
+    Entries metrics_;
+};
 
 /** Paper-fidelity experiment options (or scaled-down in fast mode). */
 inline eval::ExperimentOptions

@@ -83,6 +83,11 @@ main(int argc, char **argv)
     }
     auto options = bench::paperOptions();
     const exec::Context ctx = bench::requestContext();
+    // Request-scoped telemetry for the sweep: every span, log event,
+    // and flight-recorder entry below carries this request's id (the
+    // first context of the process, so id 1 — CI greps the deadline
+    // dump for it). Observability only; stdout is unchanged.
+    exec::RequestScope scope(ctx, "fig10_pareto");
     const char *csv_env = std::getenv("QPAD_FIG10_CSV");
     const bool csv = csv_env != nullptr;
     const bool csv_only = csv && std::strcmp(csv_env, "only") == 0;
@@ -159,8 +164,12 @@ main(int argc, char **argv)
     } catch (const exec::CancelledError &e) {
         // Distinct from the usage (2) and --expect-warm (3) exits so
         // CI can gate on "the deadline, and nothing else, fired".
-        std::fprintf(stderr, "qpad bench: fig10 sweep stopped: %s\n",
-                     e.what());
+        // Naming the request id ties the stderr line to the flight
+        // dump and request report for the same run.
+        std::fprintf(stderr,
+                     "qpad bench: fig10 sweep stopped (request %llu): "
+                     "%s\n",
+                     (unsigned long long)scope.id(), e.what());
         return 4;
     }
     if (expect_warm && (cache_hits == 0 || cache_misses != 0)) {

@@ -40,6 +40,12 @@ main(int argc, char **argv)
     }
     eval::printHeader(std::cout, "Figure 9: IBM baseline designs");
     auto yopts = bench::paperOptions().yield_options;
+    // Request-scoped telemetry: spans, log events, and flight-
+    // recorder entries of the whole run carry this request's id, and
+    // QPAD_REQUEST_REPORT gets one report on exit. Observability
+    // only — stdout stays byte-identical with or without it.
+    const exec::Context ctx = bench::requestContext();
+    exec::RequestScope scope(ctx, "fig9_baselines");
 
     int label = 1;
     for (const auto &arch : arch::ibmBaselines()) {
@@ -63,7 +69,7 @@ main(int argc, char **argv)
             }
             std::cout << "\n";
         }
-        auto r = cache::cachedEstimateYield(arch, yopts);
+        auto r = cache::cachedEstimateYield(arch, yopts, ctx);
         std::cout << "simulated yield (sigma = "
                   << yopts.sigma_ghz * 1000 << " MHz, " << yopts.trials
                   << " trials): " << eval::formatYield(r.yield)

@@ -15,6 +15,9 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
 #include <vector>
 
 #include "arch/ibm.hh"
@@ -43,7 +46,7 @@ seconds(std::chrono::steady_clock::time_point t0,
  * collision check removed).
  */
 void
-benchFill(std::size_t nq, std::size_t reps)
+benchFill(std::size_t nq, std::size_t reps, bench::BenchJson *json)
 {
     std::vector<double> means(nq);
     for (std::size_t q = 0; q < nq; ++q)
@@ -77,6 +80,12 @@ benchFill(std::size_t nq, std::size_t reps)
     std::printf("%-22s %11.2f %11.2f %9.2fx   (sink %.3g)\n",
                 nq == 16 ? "fill 16q blocks" : "fill 32q blocks",
                 scalar_ns, lane_ns, scalar_ns / lane_ns, sink);
+    if (json) {
+        const std::string prefix = "fill" + std::to_string(nq) + "q_";
+        json->metric(prefix + "scalar_ns", scalar_ns);
+        json->metric(prefix + "lanes_ns", lane_ns);
+        json->metric(prefix + "speedup", scalar_ns / lane_ns);
+    }
 }
 
 /** us per trial of estimateYield under the given scheme. */
@@ -139,8 +148,21 @@ checkDeterminism(const arch::Architecture &arch, std::size_t trials)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    std::string json_path;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+            json_path = argv[++i];
+        } else {
+            std::fprintf(stderr, "usage: %s [--json PATH]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+    bench::BenchJson json("gauss_block");
+    bench::BenchJson *jp = json_path.empty() ? nullptr : &json;
+
     eval::printHeader(std::cout,
                       "Gaussian sampling: scalar Rng vs lane-parallel "
                       "block sampler");
@@ -159,8 +181,10 @@ main()
     std::printf("%zu blocks of 8 lanes per pass\n\n", reps);
     std::printf("%-22s %11s %11s %10s\n", "workload", "scalar ns",
                 "lanes ns", "speedup");
-    benchFill(16, reps);
-    benchFill(32, reps);
+    if (jp)
+        jp->config("reps", reps);
+    benchFill(16, reps, jp);
+    benchFill(32, reps, jp);
 
     const std::size_t trials = bench::fastMode() ? 40000 : 200000;
     auto arch = arch::ibm16Q(false);
@@ -181,5 +205,13 @@ main()
     if (rc == 0)
         std::printf("\nv2 determinism contract holds (threads, "
                     "remainders, env round trip)\n");
+    if (jp) {
+        jp->config("yield_trials", trials);
+        jp->metric("yield_v1_us_per_trial", us_v1);
+        jp->metric("yield_v2_us_per_trial", us_v2);
+        jp->metric("yield_speedup", us_v1 / us_v2);
+        jp->metric("determinism_ok", rc == 0);
+        json.writeTo(json_path);
+    }
     return rc;
 }

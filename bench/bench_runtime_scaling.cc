@@ -70,7 +70,7 @@ timedYield(const arch::Architecture &arch,
 // --------------------------------------------------------------------
 
 int
-runUniform()
+runUniform(bench::BenchJson *json)
 {
     eval::printHeader(std::cout,
                       "Runtime scaling: sharded yield Monte Carlo");
@@ -87,6 +87,12 @@ runUniform()
     const unsigned hw = std::thread::hardware_concurrency();
     std::printf("hardware threads: %u, trials per estimate: %zu\n\n",
                 hw, opts.trials);
+    if (json) {
+        json->config("mode", "uniform");
+        json->config("hardware_threads", std::uint64_t(hw));
+        json->config("trials", opts.trials);
+        json->config("sigma_ghz", opts.sigma_ghz);
+    }
 
     // Warm up the global pool and the caches.
     opts.exec.num_threads = 0;
@@ -106,6 +112,10 @@ runUniform()
                 "speedup", "successes", "steals", "max-idle");
     std::printf("%8zu %12.4f %10.2fx %12zu %8s %10s\n", std::size_t{1},
                 t1, 1.0, reference.successes, "-", "-");
+    if (json) {
+        json->metric("seconds_t1", t1);
+        json->metric("successes", reference.successes);
+    }
 
     for (std::size_t threads : {2u, 4u, 8u}) {
         bench::RegionDelta best_delta;
@@ -128,6 +138,13 @@ runUniform()
                     r.successes == reference.successes
                         ? ""
                         : "  MISMATCH!");
+        if (json) {
+            const std::string suffix =
+                "_t" + std::to_string(threads);
+            json->metric("seconds" + suffix, t);
+            json->metric("speedup" + suffix, t1 / t);
+            json->metric("steals" + suffix, best_delta.steals);
+        }
         if (r.successes != reference.successes)
             return 1;
     }
@@ -206,7 +223,7 @@ struct SkewedWorkload
 };
 
 int
-runSkewed(bool assert_speedup)
+runSkewed(bool assert_speedup, bench::BenchJson *json)
 {
     eval::printHeader(
         std::cout,
@@ -231,6 +248,12 @@ runSkewed(bool assert_speedup)
                 "cost spread: 1x..100x (total %zux)\n\n",
                 std::thread::hardware_concurrency(), w.runners, w.n,
                 total_cost);
+    if (json) {
+        json->config("mode", "skewed");
+        json->config("runners", w.runners);
+        json->config("indices", w.n);
+        json->config("spin", w.spin);
+    }
 
     // Reference: sequential, one chunk (no scheduler involved).
     const SkewedWorkload::Digest reference = w.checksum(w.n, 1);
@@ -283,6 +306,12 @@ runSkewed(bool assert_speedup)
 
     const double improvement = times[0] / times[1];
     std::printf("\nguided vs fixed: %.2fx\n", improvement);
+    if (json) {
+        json->metric("fixed_seconds", times[0]);
+        json->metric("guided_seconds", times[1]);
+        json->metric("guided_vs_fixed", improvement);
+        json->metric("checksums_match", ok);
+    }
     // Stable across thread counts and grain modes (partition-
     // invariant digest); CI diffs this line between scheduler legs.
     // Deliberately printed from the *parallel guided* run — not the
@@ -318,17 +347,28 @@ main(int argc, char **argv)
 {
     bool skewed = false;
     bool assert_speedup = false;
+    std::string json_path;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--skewed") == 0) {
             skewed = true;
         } else if (std::strcmp(argv[i], "--assert-speedup") == 0) {
             assert_speedup = true;
+        } else if (std::strcmp(argv[i], "--json") == 0 &&
+                   i + 1 < argc) {
+            json_path = argv[++i];
         } else {
             std::fprintf(stderr,
-                         "usage: %s [--skewed] [--assert-speedup]\n",
+                         "usage: %s [--skewed] [--assert-speedup] "
+                         "[--json PATH]\n",
                          argv[0]);
             return 2;
         }
     }
-    return skewed ? runSkewed(assert_speedup) : runUniform();
+    bench::BenchJson json("runtime_scaling");
+    bench::BenchJson *jp = json_path.empty() ? nullptr : &json;
+    const int rc =
+        skewed ? runSkewed(assert_speedup, jp) : runUniform(jp);
+    if (jp)
+        json.writeTo(json_path);
+    return rc;
 }

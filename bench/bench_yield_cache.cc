@@ -54,7 +54,7 @@ sweepArchitectures(const eval::ExperimentOptions &opts)
 }
 
 int
-runMicrobench()
+runMicrobench(bench::BenchJson *json)
 {
     eval::printHeader(std::cout,
                       "Yield-estimate cache: cold vs warm sweep");
@@ -152,11 +152,22 @@ runMicrobench()
     }
     if (rc == 0)
         std::printf("\nwarm sweep served entirely from the cache\n");
+    if (json) {
+        json->config("architectures", archs.size());
+        json->config("sigma_points", sigmas.size());
+        json->config("trials_per_key", yopts.trials);
+        json->metric("cold_seconds", cold_s);
+        json->metric("warm_seconds", warm_s);
+        json->metric("warm_speedup", cold_s / warm_s);
+        json->metric("hits", std::uint64_t(stats.hits));
+        json->metric("misses", std::uint64_t(stats.misses));
+        json->metric("cache_ok", rc == 0);
+    }
     return rc;
 }
 
 int
-runSweepCsv(bool expect_warm)
+runSweepCsv(bool expect_warm, bench::BenchJson *json)
 {
     // Small but complete experiment; the global cache stays in
     // whatever state the environment configured (QPAD_CACHE_DIR
@@ -182,12 +193,24 @@ runSweepCsv(bool expect_warm)
                  (unsigned long long)cs.evictions,
                  (unsigned long long)cs.bytes,
                  (unsigned long long)cs.entries);
+    int rc = 0;
     if (expect_warm && cs.hits == 0) {
         std::fprintf(stderr, "FAIL: expected a warm cache (nonzero "
                              "hit rate) on this pass\n");
-        return 1;
+        rc = 1;
     }
-    return 0;
+    if (json) {
+        json->config("sweep", true);
+        json->config("expect_warm", expect_warm);
+        json->metric("hits", std::uint64_t(cs.hits));
+        json->metric("misses", std::uint64_t(cs.misses));
+        json->metric("inserts", std::uint64_t(cs.inserts));
+        json->metric("evictions", std::uint64_t(cs.evictions));
+        json->metric("bytes", std::uint64_t(cs.bytes));
+        json->metric("entries", std::uint64_t(cs.entries));
+        json->metric("cache_ok", rc == 0);
+    }
+    return rc;
 }
 
 } // namespace
@@ -196,23 +219,31 @@ int
 main(int argc, char **argv)
 {
     bool sweep = false, expect_warm = false;
+    std::string json_path;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--sweep") == 0)
             sweep = true;
         else if (std::strcmp(argv[i], "--expect-warm") == 0)
             expect_warm = true;
+        else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
+            json_path = argv[++i];
         else {
             std::fprintf(stderr,
-                         "usage: %s [--sweep [--expect-warm]]\n",
+                         "usage: %s [--sweep [--expect-warm]] "
+                         "[--json PATH]\n",
                          argv[0]);
             return 2;
         }
     }
-    if (sweep)
-        return runSweepCsv(expect_warm);
-    if (expect_warm) {
+    if (!sweep && expect_warm) {
         std::fprintf(stderr, "--expect-warm requires --sweep\n");
         return 2;
     }
-    return runMicrobench();
+    bench::BenchJson json("yield_cache");
+    bench::BenchJson *jp = json_path.empty() ? nullptr : &json;
+    const int rc =
+        sweep ? runSweepCsv(expect_warm, jp) : runMicrobench(jp);
+    if (jp)
+        json.writeTo(json_path);
+    return rc;
 }

@@ -1,20 +1,28 @@
 /**
  * @file
- * Status-message and error-reporting helpers.
+ * Legacy status-message and error-reporting macros.
  *
  * Follows the gem5 convention: panic() for internal invariant
  * violations (library bugs), fatal() for user errors that make
  * continuing impossible, warn()/inform() for non-fatal diagnostics.
+ *
+ * These are now thin shims over the structured logger (obs/log.hh):
+ * every macro forwards to obs::log as a `log.*` event (honouring
+ * QPAD_LOG destination/format/level and carrying the current request
+ * id), and panic/fatal still throw std::logic_error /
+ * std::runtime_error after logging. New code should emit structured
+ * events directly — obs::logWarn("cache.open_failed", {...}) beats
+ * qpad_warn("cache: cannot open ...") — these macros exist for the
+ * concat-style call sites and for the assert/panic/fatal throw
+ * semantics the tests pin.
  */
 
 #ifndef QPAD_COMMON_LOGGING_HH
 #define QPAD_COMMON_LOGGING_HH
 
-#include <atomic>
-#include <cstdlib>
-#include <iostream>
 #include <sstream>
 #include <string>
+#include <utility>
 
 namespace qpad
 {
@@ -32,6 +40,7 @@ concat(Args &&...args)
     return oss.str();
 }
 
+// Implemented in obs/log.cc: each forwards to the structured logger.
 [[noreturn]] void panicImpl(const char *file, int line,
                             const std::string &msg);
 [[noreturn]] void fatalImpl(const char *file, int line,
@@ -39,25 +48,11 @@ concat(Args &&...args)
 void warnImpl(const std::string &msg);
 void informImpl(const std::string &msg);
 
-/**
- * Quiet flag for inform()/warn() (used by quiet benches). An atomic
- * so benches may toggle it while worker threads log; relaxed is
- * enough — it gates diagnostics only and orders nothing else.
- */
-inline std::atomic<bool> g_quiet_flag{false};
-
-/** Globally silence inform()/warn() (used by quiet benches). */
-inline void
-setQuiet(bool quiet)
-{
-    g_quiet_flag.store(quiet, std::memory_order_relaxed);
-}
-
-inline bool
-isQuiet()
-{
-    return g_quiet_flag.load(std::memory_order_relaxed);
-}
+/** Globally silence everything below error (used by quiet benches);
+ * maps onto the obs::log threshold without touching the configured
+ * minimum level. */
+void setQuiet(bool quiet);
+bool isQuiet();
 
 } // namespace detail
 
@@ -77,11 +72,11 @@ isQuiet()
     ::qpad::detail::fatalImpl(__FILE__, __LINE__,                       \
                               ::qpad::detail::concat(__VA_ARGS__))
 
-/** Non-fatal warning on stderr. */
+/** Non-fatal warning (a `log.warn` structured event). */
 #define qpad_warn(...)                                                  \
     ::qpad::detail::warnImpl(::qpad::detail::concat(__VA_ARGS__))
 
-/** Informational message on stderr. */
+/** Informational message (a `log.info` structured event). */
 #define qpad_inform(...)                                                \
     ::qpad::detail::informImpl(::qpad::detail::concat(__VA_ARGS__))
 

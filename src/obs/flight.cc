@@ -1,0 +1,441 @@
+#include "obs/flight.hh"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+#include "obs/log.hh"
+
+namespace qpad::obs::flight
+{
+
+namespace
+{
+
+/**
+ * One ring slot. Every field is an individual relaxed atomic so the
+ * dumper (possibly a signal handler on another thread) can read a
+ * slot mid-overwrite without a data race; `seq` carries the event's
+ * global per-thread sequence number (index + 1; 0 = never written or
+ * being rewritten) and is published with a release store after the
+ * fields, so a reader that observes it also observes the fields.
+ */
+struct Slot
+{
+    std::atomic<uint64_t> seq{0};
+    std::atomic<uint64_t> ts_ns{0};
+    std::atomic<uint64_t> rid{0};
+    std::atomic<const char *> name{nullptr};
+    std::atomic<uint8_t> phase{0};
+    std::atomic<uint8_t> level{0};
+};
+
+struct Ring
+{
+    std::atomic<uint64_t> head{0}; // next sequence number to write
+    uint32_t tid = 0;
+    Slot slots[kRingEvents];
+};
+
+/** Upper bound on recording threads; later threads still run, their
+ * events just stay out of dumps. */
+constexpr std::size_t kMaxRings = 512;
+
+std::atomic<Ring *> g_rings[kMaxRings];
+std::atomic<uint32_t> g_ring_count{0};
+
+/** Armed dump destination (fixed storage: read by the signal
+ * handler, which cannot touch std::string). Empty = unarmed. */
+char g_armed_path[4096] = {0};
+std::atomic<bool> g_armed{false};
+std::atomic<bool> g_dumped{false};
+
+thread_local Ring *t_ring = nullptr;
+
+/** First-use ring setup: the one allocation a thread ever pays.
+ * Leaked deliberately — a crash handler must be able to walk rings
+ * of threads that already exited. Reachable via g_rings, so
+ * LeakSanitizer stays quiet. */
+Ring *
+initRing()
+{
+    Ring *ring = new Ring;
+    const uint32_t i =
+        g_ring_count.fetch_add(1, std::memory_order_relaxed);
+    ring->tid = i;
+    if (i < kMaxRings)
+        g_rings[i].store(ring, std::memory_order_release);
+    t_ring = ring;
+    return ring;
+}
+
+/** A consistent copy of one published slot (false = empty slot or
+ * torn by a concurrent overwrite). */
+struct EventCopy
+{
+    uint64_t seq;
+    uint64_t ts_ns;
+    uint64_t rid;
+    const char *name;
+    char phase;
+    uint8_t level;
+    uint32_t tid;
+};
+
+bool
+readSlot(const Slot &slot, uint32_t tid, EventCopy &out)
+{
+    const uint64_t s1 = slot.seq.load(std::memory_order_acquire);
+    if (s1 == 0)
+        return false;
+    out.seq = s1;
+    out.ts_ns = slot.ts_ns.load(std::memory_order_relaxed);
+    out.rid = slot.rid.load(std::memory_order_relaxed);
+    out.name = slot.name.load(std::memory_order_relaxed);
+    out.phase = char(slot.phase.load(std::memory_order_relaxed));
+    out.level = slot.level.load(std::memory_order_relaxed);
+    out.tid = tid;
+    const uint64_t s2 = slot.seq.load(std::memory_order_acquire);
+    return s1 == s2 && out.name != nullptr;
+}
+
+void
+appendEventJson(std::string &out, const EventCopy &e, uint64_t t0,
+                bool first)
+{
+    char line[320];
+    const double ts = double(e.ts_ns - t0) / 1000.0;
+    // Span/event names are code-controlled literals ([a-z0-9._-]),
+    // so no JSON escaping is needed.
+    int n;
+    if (e.phase == 'L') {
+        n = std::snprintf(
+            line, sizeof line,
+            "%s{\"name\":\"%s\",\"cat\":\"flight\",\"ph\":\"i\","
+            "\"s\":\"t\",\"pid\":1,\"tid\":%u,\"ts\":%.3f,"
+            "\"args\":{\"rid\":%llu,\"level\":\"%s\"}}",
+            first ? "\n" : ",\n", e.name, e.tid, ts,
+            (unsigned long long)e.rid,
+            logLevelName(LogLevel(e.level)));
+    } else if (e.rid != 0) {
+        n = std::snprintf(
+            line, sizeof line,
+            "%s{\"name\":\"%s\",\"cat\":\"flight\",\"ph\":\"%c\","
+            "\"pid\":1,\"tid\":%u,\"ts\":%.3f,"
+            "\"args\":{\"rid\":%llu}}",
+            first ? "\n" : ",\n", e.name, e.phase, e.tid, ts,
+            (unsigned long long)e.rid);
+    } else {
+        n = std::snprintf(
+            line, sizeof line,
+            "%s{\"name\":\"%s\",\"cat\":\"flight\",\"ph\":\"%c\","
+            "\"pid\":1,\"tid\":%u,\"ts\":%.3f}",
+            first ? "\n" : ",\n", e.name, e.phase, e.tid, ts);
+    }
+    out.append(line, std::size_t(std::max(n, 0)));
+}
+
+constexpr char kHeader[] =
+    "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+constexpr char kFooter[] = "\n]}\n";
+
+// -----------------------------------------------------------------
+// Async-signal-safe path
+// -----------------------------------------------------------------
+
+void
+writeAll(int fd, const char *data, std::size_t len)
+{
+    while (len > 0) {
+        const ssize_t n = ::write(fd, data, len);
+        if (n <= 0)
+            return;
+        data += n;
+        len -= std::size_t(n);
+    }
+}
+
+std::size_t
+fmtU64(char *out, uint64_t v)
+{
+    char tmp[20];
+    std::size_t n = 0;
+    do {
+        tmp[n++] = char('0' + v % 10);
+        v /= 10;
+    } while (v != 0);
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = tmp[n - 1 - i];
+    return n;
+}
+
+std::size_t
+append(char *buf, std::size_t pos, const char *s)
+{
+    const std::size_t n = std::strlen(s);
+    std::memcpy(buf + pos, s, n);
+    return pos + n;
+}
+
+/** Install-once guard for the atexit hook. */
+std::atomic<bool> g_exit_hook{false};
+
+void
+onFatalSignal(int sig)
+{
+    // At most one dump per process: an explicit tripwire dump (or a
+    // first fatal signal) wins over the SIGABRT that follows it.
+    if (!g_dumped.exchange(true, std::memory_order_seq_cst)) {
+        const int fd = ::open(g_armed_path,
+                              O_WRONLY | O_CREAT | O_TRUNC, 0644);
+        if (fd >= 0) {
+            dumpSignalSafe(fd);
+            ::close(fd);
+        }
+    }
+    // SA_RESETHAND restored the default disposition, so re-raising
+    // terminates the process with the original signal.
+    ::raise(sig);
+}
+
+} // namespace
+
+uint64_t
+nowNs()
+{
+    return uint64_t(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+void
+record(const char *name, char phase, uint8_t level)
+{
+    Ring *ring = t_ring;
+    if (!ring)
+        ring = initRing();
+    const uint64_t i =
+        ring->head.fetch_add(1, std::memory_order_relaxed);
+    Slot &slot = ring->slots[i & (kRingEvents - 1)];
+    slot.seq.store(0, std::memory_order_relaxed);
+    slot.ts_ns.store(nowNs(), std::memory_order_relaxed);
+    slot.rid.store(currentRequestId(), std::memory_order_relaxed);
+    slot.name.store(name, std::memory_order_relaxed);
+    slot.phase.store(uint8_t(phase), std::memory_order_relaxed);
+    slot.level.store(level, std::memory_order_relaxed);
+    slot.seq.store(i + 1, std::memory_order_release);
+}
+
+void
+arm(const std::string &path)
+{
+    if (path.empty() || path.size() >= sizeof g_armed_path)
+        return;
+    std::memcpy(g_armed_path, path.c_str(), path.size() + 1);
+    g_armed.store(true, std::memory_order_release);
+    g_dumped.store(false, std::memory_order_relaxed);
+
+    struct sigaction action = {};
+    action.sa_handler = onFatalSignal;
+    action.sa_flags = SA_RESETHAND;
+    sigemptyset(&action.sa_mask);
+    ::sigaction(SIGSEGV, &action, nullptr);
+    ::sigaction(SIGABRT, &action, nullptr);
+
+    if (!g_exit_hook.exchange(true, std::memory_order_seq_cst))
+        std::atexit([] { dumpNow(); });
+}
+
+bool
+armed()
+{
+    return g_armed.load(std::memory_order_acquire);
+}
+
+bool
+dumpNow()
+{
+    if (!armed() || g_dumped.exchange(true, std::memory_order_seq_cst))
+        return false;
+    return dumpTo(g_armed_path);
+}
+
+bool
+dumpTo(const std::string &path)
+{
+    // Collect a consistent copy of every ring, newest kRingEvents
+    // per thread, ordered by each thread's sequence numbers.
+    const uint32_t rings = std::min<uint32_t>(
+        g_ring_count.load(std::memory_order_acquire), kMaxRings);
+    std::vector<std::vector<EventCopy>> per_thread;
+    per_thread.reserve(rings);
+    for (uint32_t r = 0; r < rings; ++r) {
+        const Ring *ring =
+            g_rings[r].load(std::memory_order_acquire);
+        if (!ring)
+            continue;
+        std::vector<EventCopy> events;
+        events.reserve(kRingEvents);
+        for (const Slot &slot : ring->slots) {
+            EventCopy e;
+            if (readSlot(slot, ring->tid, e))
+                events.push_back(e);
+        }
+        std::sort(events.begin(), events.end(),
+                  [](const EventCopy &a, const EventCopy &b) {
+                      return a.seq < b.seq;
+                  });
+        if (!events.empty())
+            per_thread.push_back(std::move(events));
+    }
+
+    uint64_t t0 = UINT64_MAX;
+    for (const auto &events : per_thread)
+        for (const EventCopy &e : events)
+            t0 = std::min(t0, e.ts_ns);
+    if (t0 == UINT64_MAX)
+        t0 = 0;
+
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) {
+        logWarn("obs.flight_write_failed", {{"path", path}});
+        return false;
+    }
+    out << kHeader;
+    bool first = true;
+    std::string body;
+    for (const auto &events : per_thread) {
+        // Balanced replay: a ring that wrapped may retain an 'E'
+        // whose 'B' was overwritten, or a 'B' whose span is still
+        // open. Synthesize the missing edges (at the thread's first
+        // and last retained timestamps) so the stream nests.
+        body.clear();
+        const uint64_t first_ts = events.front().ts_ns;
+        const uint64_t last_ts = events.back().ts_ns;
+        std::vector<EventCopy> opens;   // synthetic leading 'B's
+        std::vector<EventCopy> stack;   // currently open spans
+        std::vector<EventCopy> ordered; // events in final order
+        for (const EventCopy &e : events) {
+            if (e.phase == 'B') {
+                stack.push_back(e);
+            } else if (e.phase == 'E') {
+                if (!stack.empty()) {
+                    stack.pop_back();
+                } else {
+                    EventCopy open = e;
+                    open.phase = 'B';
+                    open.ts_ns = first_ts;
+                    opens.push_back(open);
+                }
+            }
+            ordered.push_back(e);
+        }
+        // Outermost synthetic open first: the last orphan close seen
+        // is the outermost span.
+        for (auto it = opens.rbegin(); it != opens.rend(); ++it) {
+            appendEventJson(body, *it, t0, first);
+            first = false;
+        }
+        for (const EventCopy &e : ordered) {
+            appendEventJson(body, e, t0, first);
+            first = false;
+        }
+        // Innermost unclosed span closes first (stack order).
+        for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+            EventCopy close = *it;
+            close.phase = 'E';
+            close.ts_ns = last_ts;
+            appendEventJson(body, close, t0, first);
+            first = false;
+        }
+        out << body;
+    }
+    out << kFooter;
+    return bool(out);
+}
+
+void
+dumpSignalSafe(int fd)
+{
+    writeAll(fd, kHeader, sizeof kHeader - 1);
+    const uint32_t rings = std::min<uint32_t>(
+        g_ring_count.load(std::memory_order_relaxed), kMaxRings);
+    bool first = true;
+    for (uint32_t r = 0; r < rings; ++r) {
+        const Ring *ring =
+            g_rings[r].load(std::memory_order_relaxed);
+        if (!ring)
+            continue;
+        for (const Slot &slot : ring->slots) {
+            const uint64_t seq =
+                slot.seq.load(std::memory_order_acquire);
+            const char *name =
+                slot.name.load(std::memory_order_relaxed);
+            if (seq == 0 || name == nullptr)
+                continue;
+            const char phase =
+                char(slot.phase.load(std::memory_order_relaxed));
+            char buf[384];
+            std::size_t pos = 0;
+            buf[pos++] = first ? '\n' : ',';
+            if (!first)
+                buf[pos++] = '\n';
+            first = false;
+            pos = append(buf, pos, "{\"name\":\"");
+            // Names are literals; cap the copy so a corrupted
+            // pointer cannot overrun the buffer.
+            for (const char *c = name; *c && pos < 200; ++c)
+                buf[pos++] = *c;
+            pos = append(buf, pos, "\",\"cat\":\"flight\",\"ph\":\"");
+            buf[pos++] = phase == 'L' ? 'i' : phase;
+            pos = append(buf, pos, "\"");
+            if (phase == 'L')
+                pos = append(buf, pos, ",\"s\":\"t\"");
+            pos = append(buf, pos, ",\"pid\":1,\"tid\":");
+            pos += fmtU64(buf + pos, ring->tid);
+            pos = append(buf, pos, ",\"ts\":");
+            pos += fmtU64(
+                buf + pos,
+                slot.ts_ns.load(std::memory_order_relaxed) / 1000);
+            const uint64_t rid =
+                slot.rid.load(std::memory_order_relaxed);
+            if (rid != 0) {
+                pos = append(buf, pos, ",\"args\":{\"rid\":");
+                pos += fmtU64(buf + pos, rid);
+                pos = append(buf, pos, "}");
+            }
+            pos = append(buf, pos, "}");
+            writeAll(fd, buf, pos);
+        }
+    }
+    writeAll(fd, kFooter, sizeof kFooter - 1);
+}
+
+namespace
+{
+
+/** Reads QPAD_FLIGHT once at static init (env is set before main)
+ * and arms the recorder. */
+struct FlightEnvInit
+{
+    FlightEnvInit()
+    {
+        const char *path = std::getenv("QPAD_FLIGHT");
+        if (path && *path)
+            arm(path);
+    }
+} g_flight_env_init;
+
+} // namespace
+
+} // namespace qpad::obs::flight

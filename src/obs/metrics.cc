@@ -257,7 +257,11 @@ dumpMetricsAtExit()
         return;
     const Snapshot snap = snapshot();
     if (dest == "stderr") {
+        // qpad-lint: allow(rawlog) "sanctioned exporter: the user
+        // chose stderr as the QPAD_METRICS destination"
         std::cerr << "qpad metrics:\n";
+        // qpad-lint: allow(rawlog) "sanctioned exporter, same
+        // stderr destination as the header line above"
         writeTable(std::cerr, snap, {}, "  ");
         return;
     }
@@ -336,6 +340,41 @@ deltaSince(const Snapshot &before)
     return now;
 }
 
+double
+samplePercentile(const Sample &s, double q)
+{
+    if (s.kind != Sample::Kind::Histogram || s.count == 0 ||
+        s.buckets.empty())
+        return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    uint64_t total = 0;
+    for (uint64_t c : s.buckets)
+        total += c;
+    if (total == 0)
+        return 0.0;
+    const double target = q * double(total);
+    double cumulative = 0.0;
+    for (std::size_t b = 0; b < s.buckets.size(); ++b) {
+        const double in_bucket = double(s.buckets[b]);
+        if (in_bucket == 0.0)
+            continue;
+        if (cumulative + in_bucket >= target) {
+            // Bucket b spans (lo, hi]: lo is the previous bound (0
+            // for the first), hi the bucket's own bound — the +inf
+            // bucket tops out at the observed max.
+            const double lo = b == 0 ? 0.0 : s.bounds[b - 1];
+            const double hi = b < s.bounds.size()
+                                  ? s.bounds[b]
+                                  : std::max(s.max, lo);
+            const double frac =
+                std::clamp((target - cumulative) / in_bucket, 0.0, 1.0);
+            return std::min(lo + frac * (hi - lo), s.max);
+        }
+        cumulative += in_bucket;
+    }
+    return s.max;
+}
+
 const Sample *
 find(const Snapshot &snap, std::string_view name)
 {
@@ -380,13 +419,51 @@ writeTable(std::ostream &out, const Snapshot &snap,
           case Sample::Kind::Histogram: {
             std::ostringstream hist;
             hist << "count=" << s.count << " sum=" << std::scientific
-                 << std::setprecision(3) << s.sum << " max=" << s.max;
+                 << std::setprecision(3) << s.sum << " max=" << s.max
+                 << " p50=" << samplePercentile(s, 0.50)
+                 << " p95=" << samplePercentile(s, 0.95)
+                 << " p99=" << samplePercentile(s, 0.99);
             out << hist.str();
             break;
           }
         }
         out << "\n";
     }
+}
+
+void
+writeSampleJson(std::ostream &out, const Sample &s)
+{
+    // Metric names are code-controlled identifiers
+    // ([a-z0-9._-]), so no JSON string escaping is needed.
+    out << "{\"name\":\"" << s.name << "\",\"kind\":\""
+        << kindName(s.kind) << "\"";
+    std::ostringstream num;
+    num << std::setprecision(17);
+    switch (s.kind) {
+      case Sample::Kind::Counter:
+        out << ",\"value\":" << uint64_t(s.value);
+        break;
+      case Sample::Kind::Gauge:
+        out << ",\"value\":" << int64_t(s.value);
+        break;
+      case Sample::Kind::Histogram:
+        num << ",\"count\":" << s.count << ",\"sum\":" << s.sum
+            << ",\"max\":" << s.max
+            << ",\"p50\":" << samplePercentile(s, 0.50)
+            << ",\"p95\":" << samplePercentile(s, 0.95)
+            << ",\"p99\":" << samplePercentile(s, 0.99)
+            << ",\"bounds\":[";
+        for (std::size_t b = 0; b < s.bounds.size(); ++b)
+            num << (b ? "," : "") << s.bounds[b];
+        num << "],\"buckets\":[";
+        for (std::size_t b = 0; b < s.buckets.size(); ++b)
+            num << (b ? "," : "") << s.buckets[b];
+        num << "]";
+        out << num.str();
+        break;
+    }
+    out << "}";
 }
 
 void
@@ -397,32 +474,7 @@ writeJson(std::ostream &out, const Snapshot &snap)
     for (const Sample &s : snap) {
         out << (first ? "\n" : ",\n");
         first = false;
-        // Metric names are code-controlled identifiers
-        // ([a-z0-9._-]), so no JSON string escaping is needed.
-        out << "{\"name\":\"" << s.name << "\",\"kind\":\""
-            << kindName(s.kind) << "\"";
-        std::ostringstream num;
-        num << std::setprecision(17);
-        switch (s.kind) {
-          case Sample::Kind::Counter:
-            out << ",\"value\":" << uint64_t(s.value);
-            break;
-          case Sample::Kind::Gauge:
-            out << ",\"value\":" << int64_t(s.value);
-            break;
-          case Sample::Kind::Histogram:
-            num << ",\"count\":" << s.count << ",\"sum\":" << s.sum
-                << ",\"max\":" << s.max << ",\"bounds\":[";
-            for (std::size_t b = 0; b < s.bounds.size(); ++b)
-                num << (b ? "," : "") << s.bounds[b];
-            num << "],\"buckets\":[";
-            for (std::size_t b = 0; b < s.buckets.size(); ++b)
-                num << (b ? "," : "") << s.buckets[b];
-            num << "]";
-            out << num.str();
-            break;
-        }
-        out << "}";
+        writeSampleJson(out, s);
     }
     out << "\n]}\n";
 }

@@ -206,6 +206,15 @@ Snapshot deltaSince(const Snapshot &before);
 /** Find a sample by exact name (nullptr when absent). */
 const Sample *find(const Snapshot &snap, std::string_view name);
 
+/**
+ * Interpolated quantile of a histogram sample, q in [0, 1]: the
+ * target rank's bucket is found from the cumulative counts and the
+ * value interpolated linearly within the bucket's bounds (the +inf
+ * bucket and the result are clamped to the observed max). 0 for an
+ * empty histogram or a non-histogram sample.
+ */
+double samplePercentile(const Sample &s, double q);
+
 /** Scalar view of a sample: counter/gauge value, histogram sum;
  * 0 when the name is absent. */
 double valueOf(const Snapshot &snap, std::string_view name);
@@ -220,6 +229,10 @@ void writeTable(std::ostream &out, const Snapshot &snap,
 
 /** The whole snapshot as JSON: {"metrics":[...]}, one per line. */
 void writeJson(std::ostream &out, const Snapshot &snap);
+
+/** One sample as a JSON object (the element writeJson emits; also
+ * used by request reports). */
+void writeSampleJson(std::ostream &out, const Sample &s);
 
 } // namespace qpad::obs
 

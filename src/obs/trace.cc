@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/logging.hh"
+#include "obs/log.hh"
 
 namespace qpad::obs
 {
@@ -22,6 +23,7 @@ struct Event
 {
     const char *name;
     uint64_t ts_ns;
+    uint64_t rid;
     uint32_t tid;
     char phase;
 };
@@ -102,7 +104,8 @@ class ThreadBuffer
     push(const char *name, char phase)
     {
         std::lock_guard<std::mutex> lock(mutex_);
-        events_.push_back(Event{name, nowNs(), tid_, phase});
+        events_.push_back(
+            Event{name, nowNs(), currentRequestId(), tid_, phase});
     }
 
     void
@@ -190,12 +193,24 @@ Collector::writeFile(const std::vector<Event> &events)
         first = false;
         char line[256];
         // Span names are code-controlled literals ([a-z0-9._-]), so
-        // no JSON escaping is needed.
-        std::snprintf(line, sizeof line,
-                      "{\"name\":\"%s\",\"cat\":\"qpad\",\"ph\":\"%c\","
-                      "\"pid\":1,\"tid\":%u,\"ts\":%.3f}",
-                      e.name, e.phase, e.tid,
-                      double(e.ts_ns - t0) / 1000.0);
+        // no JSON escaping is needed. Spans recorded inside a
+        // request scope carry the request id as an argument.
+        if (e.rid != 0)
+            std::snprintf(
+                line, sizeof line,
+                "{\"name\":\"%s\",\"cat\":\"qpad\",\"ph\":\"%c\","
+                "\"pid\":1,\"tid\":%u,\"ts\":%.3f,"
+                "\"args\":{\"rid\":%llu}}",
+                e.name, e.phase, e.tid,
+                double(e.ts_ns - t0) / 1000.0,
+                (unsigned long long)e.rid);
+        else
+            std::snprintf(
+                line, sizeof line,
+                "{\"name\":\"%s\",\"cat\":\"qpad\",\"ph\":\"%c\","
+                "\"pid\":1,\"tid\":%u,\"ts\":%.3f}",
+                e.name, e.phase, e.tid,
+                double(e.ts_ns - t0) / 1000.0);
         out << line;
     }
     out << "\n]}\n";

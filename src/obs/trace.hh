@@ -8,13 +8,16 @@
  * per-thread flame graph in chrome://tracing or Perfetto
  * (https://ui.perfetto.dev, "Open trace file").
  *
- * Cost contract: with tracing disabled — the default — a span is ONE
- * relaxed atomic load and a branch; no allocation, no locks, no
- * clock reads. Enabled spans read the steady clock twice and push a
- * 24-byte event into a per-thread buffer (one uncontended mutex
- * each). Tracing never feeds back into any computation: results are
- * bit-identical with tracing on or off, and the test suite pins that
- * invariant.
+ * Cost contract: every span edge lands in the always-on flight
+ * recorder ring (obs/flight.hh: one clock read plus relaxed stores
+ * into a preallocated per-thread slot — no locks, no allocation);
+ * with tracing disabled — the default — that is ALL a span costs
+ * beyond one relaxed load and a branch. Enabled spans additionally
+ * push an event into a per-thread trace buffer (one uncontended
+ * mutex each). Inside an exec::RequestScope both records carry the
+ * request id. Tracing never feeds back into any computation: results
+ * are bit-identical with tracing on or off, and the test suite pins
+ * that invariant.
  *
  * Enable with QPAD_TRACE=<path> (flushed at process exit) or
  * programmatically with startTracing()/stopTracing(). Span names
@@ -27,6 +30,8 @@
 
 #include <atomic>
 #include <string>
+
+#include "obs/flight.hh"
 
 namespace qpad::obs
 {
@@ -53,19 +58,21 @@ tracingEnabled()
 class Span
 {
   public:
-    explicit Span(const char *name)
+    explicit Span(const char *name) : name_(name)
     {
+        flight::record(name, 'B');
         if (tracingEnabled()) {
-            name_ = name;
+            traced_ = true;
             detail::recordEvent(name, 'B');
         }
     }
 
     ~Span()
     {
-        // A span that began is always closed, even if tracing was
-        // toggled meanwhile, so flushed streams stay balanced.
-        if (name_)
+        flight::record(name_, 'E');
+        // A span that began traced is always closed, even if tracing
+        // was toggled meanwhile, so flushed streams stay balanced.
+        if (traced_)
             detail::recordEvent(name_, 'E');
     }
 
@@ -73,7 +80,8 @@ class Span
     Span &operator=(const Span &) = delete;
 
   private:
-    const char *name_ = nullptr;
+    const char *name_;
+    bool traced_ = false;
 };
 
 /**

@@ -5,6 +5,7 @@
 
 #include "common/logging.hh"
 #include "common/rng.hh"
+#include "obs/log.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
 #include "runtime/thread_pool.hh"
@@ -47,9 +48,11 @@ publishRegion(const RegionStats &stats, double seconds)
 
 RegionState::RegionState(std::size_t runners, std::size_t chunks,
                          std::function<void(std::size_t)> run_chunk,
-                         const exec::CancelToken *cancel)
+                         const exec::CancelToken *cancel,
+                         uint64_t request_id)
     : run_chunk_(std::move(run_chunk)), runners_(runners),
-      cancel_(cancel), pending_(chunks), claimed_(runners)
+      cancel_(cancel), request_id_(request_id), pending_(chunks),
+      claimed_(runners)
 {
     qpad_assert(runners >= 1, "region needs at least one runner");
     deques_.reserve(runners);
@@ -78,6 +81,11 @@ RegionState::helperEntry()
 void
 RegionState::runAs(std::size_t id)
 {
+    // Tag this runner with the owning request for the duration of
+    // the region, so spans and log/flight events recorded inside
+    // (possibly stolen) chunks carry the request id — on helpers as
+    // well as on the caller.
+    obs::ScopedRequestId rid_scope(request_id_);
     uint64_t rng_state = 0x2545f4914f6cdd1dull * (id + 1);
     uint64_t idle_ns = 0;
     for (;;) {
@@ -285,16 +293,18 @@ RegionState::rethrowIfFailed()
 void
 runRegion(std::size_t chunks, std::size_t threads, bool guided,
           std::function<void(std::size_t)> run_chunk,
-          const exec::CancelToken *cancel, RegionStats *stats)
+          const exec::CancelToken *cancel, RegionStats *stats,
+          uint64_t request_id)
 {
     qpad_assert(threads >= 2 && threads <= chunks,
                 "runRegion caller must pre-clamp the runner count");
+    obs::ScopedRequestId rid_scope(request_id);
     QPAD_SPAN("runtime.region");
     // qpad-lint: allow(no-wallclock) "region duration metric only;
     // never steers scheduling or results"
     const auto region_begin = clock::now();
     auto region = std::make_shared<RegionState>(
-        threads, chunks, std::move(run_chunk), cancel);
+        threads, chunks, std::move(run_chunk), cancel, request_id);
 
     // Initial deal. Guided: strided, so every runner starts with a
     // mix of large (early) and small (late) chunks and the expensive

@@ -142,10 +142,16 @@ class RegionState
      * The token only needs to outlive the caller's waitDone(): the
      * poll happens strictly after a successful claim (which pins the
      * caller), so a late helper that finds no work never reads it.
+     *
+     * `request_id` (0 = none) tags every runner's thread while it
+     * works the region, so spans/log/flight events recorded inside
+     * stolen chunks carry the owning request's id. Purely
+     * observational — it never affects scheduling or results.
      */
     RegionState(std::size_t runners, std::size_t chunks,
                 std::function<void(std::size_t)> run_chunk,
-                const exec::CancelToken *cancel);
+                const exec::CancelToken *cancel,
+                uint64_t request_id);
 
     /** Runner count (deques); runner 0 is the caller. */
     std::size_t runners() const { return runners_; }
@@ -214,6 +220,7 @@ class RegionState
     std::vector<std::unique_ptr<ChunkDeque>> deques_;
     std::size_t runners_;
     const exec::CancelToken *cancel_;
+    uint64_t request_id_;
 
     std::atomic<std::size_t> pending_;
     std::atomic<std::size_t> next_runner_{1};
@@ -246,7 +253,8 @@ class RegionState
  */
 void runRegion(std::size_t chunks, std::size_t threads, bool guided,
                std::function<void(std::size_t)> run_chunk,
-               const exec::CancelToken *cancel, RegionStats *stats);
+               const exec::CancelToken *cancel, RegionStats *stats,
+               uint64_t request_id);
 
 } // namespace detail
 

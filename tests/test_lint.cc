@@ -44,6 +44,7 @@ extensions = [".cc", ".hh"]
 [rule.atomic-implicit-order]
 [rule.atomic-relaxed]
 [rule.metric-name]
+[rule.rawlog]
 
 [rng]
 sanctioned = ["test.cc:sanctionedHelper"]
@@ -483,6 +484,61 @@ TEST(LintMetricName, FiresOnBadRegistrations)
     EXPECT_EQ(countRule(analyze("counter(\"whatever\");\n"),
                         "metric-name"),
               0u);
+}
+
+// --------------------------------------------------------------------
+// Rules: raw diagnostics
+// --------------------------------------------------------------------
+
+TEST(LintRawLog, FiresOnCerrAndStderrWriters)
+{
+    EXPECT_EQ(countRule(analyze("std::cerr << \"oops\\n\";\n"),
+                        "rawlog"),
+              1u);
+    // Passing the stream into a writer is still a raw write.
+    EXPECT_EQ(countRule(analyze("dump(std::cerr);\n"), "rawlog"), 1u);
+    EXPECT_EQ(
+        countRule(analyze("fprintf(stderr, \"x=%d\\n\", x);\n"),
+                  "rawlog"),
+        1u);
+    EXPECT_EQ(countRule(analyze("std::fputs(\"msg\\n\", stderr);\n"),
+                        "rawlog"),
+              1u);
+    EXPECT_EQ(countRule(
+                  analyze("fwrite(buf, 1, len, stderr);\n"), "rawlog"),
+              1u);
+}
+
+TEST(LintRawLog, SilentOnStdoutMembersCommentsAndStrings)
+{
+    EXPECT_EQ(
+        countRule(analyze("std::fprintf(stdout, \"ok\\n\");\n"),
+                  "rawlog"),
+        0u);
+    EXPECT_EQ(countRule(analyze("std::printf(\"ok\\n\");\n"),
+                        "rawlog"),
+              0u);
+    EXPECT_EQ(countRule(analyze("fputs(\"msg\\n\", out);\n"),
+                        "rawlog"),
+              0u);
+    // Member calls are someone else's fprintf.
+    EXPECT_EQ(countRule(analyze("sink.fprintf(stderr_like);\n"),
+                        "rawlog"),
+              0u);
+    EXPECT_EQ(
+        countRule(analyze("// std::cerr << msg is banned here\n"
+                          "const char *s = \"cerr\";\n"),
+                  "rawlog"),
+        0u);
+}
+
+TEST(LintRawLog, JustifiedSuppressionSilencesTheSite)
+{
+    const FileReport rep =
+        analyze("std::cerr << line; // qpad-lint: allow(rawlog) "
+                "\"the log sink itself\"\n");
+    ASSERT_EQ(countRule(rep, "rawlog"), 1u);
+    EXPECT_EQ(unsuppressed(rep), 0u);
 }
 
 // --------------------------------------------------------------------

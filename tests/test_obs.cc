@@ -8,10 +8,16 @@
 
 #include <gtest/gtest.h>
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <atomic>
+#include <csignal>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <new>
 #include <sstream>
 #include <stdexcept>
@@ -22,9 +28,13 @@
 #include "arch/ibm.hh"
 #include "cache/fingerprint.hh"
 #include "cache/store.hh"
+#include "exec/context.hh"
+#include "obs/flight.hh"
+#include "obs/log.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
 #include "runtime/parallel.hh"
+#include "runtime/region.hh"
 #include "yield/yield_sim.hh"
 
 // --------------------------------------------------------------------
@@ -245,6 +255,76 @@ TEST(Metrics, WritersProduceOutput)
     }
     EXPECT_EQ(braces, 0);
     EXPECT_EQ(brackets, 0);
+}
+
+// --------------------------------------------------------------------
+// Percentiles
+// --------------------------------------------------------------------
+
+TEST(Metrics, SamplePercentilesInterpolateAndClampToMax)
+{
+    obs::Histogram &h =
+        obs::histogram("test.percentile_hist", {1.0, 2.0, 4.0, 8.0});
+    for (int i = 0; i < 50; ++i)
+        h.observe(0.5); // bucket 0: (0, 1]
+    for (int i = 0; i < 30; ++i)
+        h.observe(1.5); // bucket 1: (1, 2]
+    for (int i = 0; i < 15; ++i)
+        h.observe(3.0); // bucket 2: (2, 4]
+    for (int i = 0; i < 4; ++i)
+        h.observe(6.0); // bucket 3: (4, 8]
+    h.observe(100.0);   // +inf bucket, max = 100
+
+    const obs::Snapshot snap = obs::snapshot();
+    const obs::Sample *s = obs::find(snap, "test.percentile_hist");
+    ASSERT_NE(s, nullptr);
+    // Rank 25 of 100 lands halfway into bucket 0: 0 + 0.5 * (1 - 0).
+    EXPECT_DOUBLE_EQ(obs::samplePercentile(*s, 0.25), 0.5);
+    // Ranks 50 / 95 / 99 exhaust buckets 0 / 2 / 3 exactly, so the
+    // interpolation returns each bucket's upper bound.
+    EXPECT_DOUBLE_EQ(obs::samplePercentile(*s, 0.50), 1.0);
+    EXPECT_DOUBLE_EQ(obs::samplePercentile(*s, 0.95), 4.0);
+    EXPECT_DOUBLE_EQ(obs::samplePercentile(*s, 0.99), 8.0);
+    // The +inf bucket (and the result) top out at the observed max.
+    EXPECT_DOUBLE_EQ(obs::samplePercentile(*s, 1.0), 100.0);
+}
+
+TEST(Metrics, SamplePercentileEdgeCases)
+{
+    obs::histogram("test.percentile_empty");
+    obs::counter("test.percentile_counter").add(5);
+    const obs::Snapshot snap = obs::snapshot();
+
+    const obs::Sample *empty =
+        obs::find(snap, "test.percentile_empty");
+    ASSERT_NE(empty, nullptr);
+    EXPECT_DOUBLE_EQ(obs::samplePercentile(*empty, 0.5), 0.0);
+
+    // Non-histogram samples report 0 rather than inventing a value.
+    const obs::Sample *counter =
+        obs::find(snap, "test.percentile_counter");
+    ASSERT_NE(counter, nullptr);
+    EXPECT_DOUBLE_EQ(obs::samplePercentile(*counter, 0.5), 0.0);
+}
+
+TEST(Metrics, WritersIncludePercentiles)
+{
+    obs::histogram("test.percentile_export").observe(0.5);
+    const obs::Snapshot snap = obs::snapshot();
+
+    std::ostringstream table;
+    obs::writeTable(table, snap, "test.percentile_export");
+    EXPECT_NE(table.str().find("p50="), std::string::npos);
+    EXPECT_NE(table.str().find("p95="), std::string::npos);
+    EXPECT_NE(table.str().find("p99="), std::string::npos);
+
+    const obs::Sample *s = obs::find(snap, "test.percentile_export");
+    ASSERT_NE(s, nullptr);
+    std::ostringstream json;
+    obs::writeSampleJson(json, *s);
+    EXPECT_NE(json.str().find("\"p50\":"), std::string::npos);
+    EXPECT_NE(json.str().find("\"p95\":"), std::string::npos);
+    EXPECT_NE(json.str().find("\"p99\":"), std::string::npos);
 }
 
 // --------------------------------------------------------------------
@@ -485,6 +565,316 @@ TEST(Trace, YieldEstimateBitIdenticalTracedVsUntraced)
     EXPECT_EQ(traced.trials, plain.trials);
     EXPECT_EQ(traced.condition_trials, plain.condition_trials);
     EXPECT_DOUBLE_EQ(traced.yield, plain.yield);
+}
+
+// --------------------------------------------------------------------
+// Structured logging
+// --------------------------------------------------------------------
+
+/** Swap the log sink for a test; restores the previous one. */
+class LogConfigGuard
+{
+  public:
+    LogConfigGuard() : saved_(obs::currentLogConfig()) {}
+    ~LogConfigGuard() { obs::configureLog(saved_); }
+
+  private:
+    obs::LogConfig saved_;
+};
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+std::string
+logPath(const std::string &name)
+{
+    const std::string path =
+        testing::TempDir() + "qpad_log_" + name + ".txt";
+    std::remove(path.c_str()); // the sink appends
+    return path;
+}
+
+TEST(Log, ThresholdFiltersAndTextFormatIsDeterministic)
+{
+    LogConfigGuard guard;
+    obs::LogConfig cfg;
+    cfg.path = logPath("filter");
+    cfg.min_level = obs::LogLevel::kWarn;
+    obs::configureLog(cfg);
+
+    EXPECT_FALSE(obs::logEnabled(obs::LogLevel::kDebug));
+    EXPECT_FALSE(obs::logEnabled(obs::LogLevel::kInfo));
+    EXPECT_TRUE(obs::logEnabled(obs::LogLevel::kWarn));
+    EXPECT_TRUE(obs::logEnabled(obs::LogLevel::kError));
+
+    obs::logInfo("obs.test_log_dropped");
+    obs::logWarn("obs.test_log_kept", {{"answer", 42},
+                                       {"ratio", 3.5},
+                                       {"ok", true},
+                                       {"who", "qpad"}});
+
+    const std::string text = readFile(cfg.path);
+    EXPECT_EQ(text.find("obs.test_log_dropped"), std::string::npos);
+    // Fields render in the order written, with no timestamp in the
+    // text format — the body is byte-stable across runs.
+    EXPECT_NE(text.find("[warn] obs.test_log_kept answer=42 "
+                        "ratio=3.5 ok=true who=\"qpad\""),
+              std::string::npos)
+        << text;
+}
+
+TEST(Log, OffDropsEverything)
+{
+    LogConfigGuard guard;
+    obs::LogConfig cfg;
+    cfg.enabled = false;
+    cfg.path = logPath("off");
+    obs::configureLog(cfg);
+
+    EXPECT_FALSE(obs::logEnabled(obs::LogLevel::kError));
+    obs::logError("obs.test_log_off");
+    EXPECT_EQ(readFile(cfg.path).find("obs.test_log_off"),
+              std::string::npos);
+}
+
+TEST(Log, JsonFormatCarriesRequestId)
+{
+    LogConfigGuard guard;
+    obs::LogConfig cfg;
+    cfg.path = logPath("json");
+    cfg.format = obs::LogFormat::kJson;
+    obs::configureLog(cfg);
+
+    exec::Context ctx;
+    {
+        exec::RequestScope scope(ctx, "log_json");
+        obs::logInfo("obs.test_log_json", {{"k", "v"}});
+    }
+    obs::logInfo("obs.test_log_untagged");
+
+    const std::string text = readFile(cfg.path);
+    EXPECT_EQ(text.rfind("{\"ts_ns\":", 0), 0u) << text;
+    EXPECT_NE(text.find("\"event\":\"obs.test_log_json\",\"rid\":" +
+                        std::to_string(ctx.id()) + ",\"k\":\"v\""),
+              std::string::npos)
+        << text;
+    // Outside the scope the thread is untagged again: no rid field.
+    const auto untagged = text.find("obs.test_log_untagged");
+    ASSERT_NE(untagged, std::string::npos);
+    EXPECT_EQ(text.find("\"rid\":", untagged), std::string::npos);
+}
+
+TEST(Log, ConfigRoundTripsThroughCurrentLogConfig)
+{
+    LogConfigGuard guard;
+    obs::LogConfig cfg;
+    cfg.path = logPath("roundtrip");
+    cfg.format = obs::LogFormat::kJson;
+    cfg.min_level = obs::LogLevel::kError;
+    obs::configureLog(cfg);
+
+    const obs::LogConfig got = obs::currentLogConfig();
+    EXPECT_TRUE(got.enabled);
+    EXPECT_EQ(got.path, cfg.path);
+    EXPECT_EQ(got.format, obs::LogFormat::kJson);
+    EXPECT_EQ(got.min_level, obs::LogLevel::kError);
+}
+
+// --------------------------------------------------------------------
+// Flight recorder
+// --------------------------------------------------------------------
+
+TEST(Flight, RecordIsZeroAllocOnceWarm)
+{
+    // First call pays the thread's one-time ring allocation.
+    obs::flight::record("obs.test_flight_warmup", 'B');
+    obs::flight::record("obs.test_flight_warmup", 'E');
+    const uint64_t before = g_allocs.load(std::memory_order_relaxed);
+    for (int i = 0; i < 5000; ++i) {
+        obs::flight::record("obs.test_flight_hot", 'B');
+        obs::flight::record("obs.test_flight_hot", 'E');
+    }
+    EXPECT_EQ(g_allocs.load(std::memory_order_relaxed), before);
+}
+
+TEST(Flight, WrappedRingDumpsBalancedNewestEvents)
+{
+    // A dedicated thread overfills its ring (2x capacity) and exits;
+    // the leaked ring must still be dumpable, retaining the newest
+    // events as a properly nested stream.
+    std::thread recorder([] {
+        obs::flight::record("obs.test_wrap_outer", 'B');
+        for (std::size_t i = 0; i < obs::flight::kRingEvents; ++i) {
+            obs::flight::record("obs.test_wrap_span", 'B');
+            obs::flight::record("obs.test_wrap_span", 'E');
+        }
+        // obs.test_wrap_outer's 'B' has been overwritten by now and
+        // its 'E' never recorded — the dump must stay balanced anyway.
+    });
+    recorder.join();
+
+    const std::string path = tracePath("flight_wrap");
+    ASSERT_TRUE(obs::flight::dumpTo(path));
+
+    // Stack-replay every thread's stream (the dump covers all rings,
+    // including other tests' residue — balanced replay must hold for
+    // each). Log events render as instant events; skip them.
+    std::map<int, std::vector<std::string>> stacks;
+    std::size_t wrap_events = 0;
+    for (const ParsedEvent &e : parseTrace(path)) {
+        if (e.phase == 'i')
+            continue;
+        ASSERT_TRUE(e.phase == 'B' || e.phase == 'E') << e.phase;
+        auto &stack = stacks[e.tid];
+        if (e.phase == 'B') {
+            stack.push_back(e.name);
+        } else {
+            ASSERT_FALSE(stack.empty()) << e.name;
+            EXPECT_EQ(stack.back(), e.name);
+            stack.pop_back();
+        }
+        if (e.name.rfind("obs.test_wrap", 0) == 0)
+            ++wrap_events;
+    }
+    for (const auto &[tid, stack] : stacks)
+        EXPECT_TRUE(stack.empty()) << "unclosed span on tid " << tid;
+
+    // The ring holds kRingEvents slots; the recorder wrote twice
+    // that, so the newest ring-full survives (+2 for any synthetic
+    // balancing edges).
+    EXPECT_GE(wrap_events, obs::flight::kRingEvents / 2);
+    EXPECT_LE(wrap_events, obs::flight::kRingEvents + 2);
+}
+
+TEST(Flight, SignalSafeDumpIsStructurallyValidJson)
+{
+    obs::flight::record("obs.test_sigsafe", 'B');
+    obs::flight::record("obs.test_sigsafe", 'E');
+    const std::string path = tracePath("flight_sigsafe");
+    const int fd =
+        ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    ASSERT_GE(fd, 0);
+    obs::flight::dumpSignalSafe(fd);
+    ::close(fd);
+
+    const std::string text = readFile(path);
+    EXPECT_EQ(text.rfind("{\"displayTimeUnit\":\"ms\","
+                         "\"traceEvents\":[",
+                         0),
+              0u);
+    EXPECT_NE(text.find("\"name\":\"obs.test_sigsafe\""),
+              std::string::npos);
+    int braces = 0, brackets = 0;
+    for (char ch : text) {
+        braces += ch == '{';
+        braces -= ch == '}';
+        brackets += ch == '[';
+        brackets -= ch == ']';
+        EXPECT_GE(braces, 0);
+        EXPECT_GE(brackets, 0);
+    }
+    EXPECT_EQ(braces, 0);
+    EXPECT_EQ(brackets, 0);
+}
+
+TEST(FlightDeathTest, FatalSignalDumpsTheArmedPath)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    const std::string path = tracePath("flight_crash");
+    std::remove(path.c_str());
+    EXPECT_EXIT(
+        {
+            obs::flight::record("obs.test_crash", 'B');
+            obs::flight::arm(path);
+            std::raise(SIGSEGV);
+        },
+        ::testing::KilledBySignal(SIGSEGV), "");
+
+    // The handler dumped before re-raising the signal; the file must
+    // exist, parse, and contain the pre-crash event.
+    const std::string text = readFile(path);
+    ASSERT_FALSE(text.empty()) << "no crash dump at " << path;
+    EXPECT_NE(text.find("\"name\":\"obs.test_crash\""),
+              std::string::npos);
+    int braces = 0, brackets = 0;
+    for (char ch : text) {
+        braces += ch == '{';
+        braces -= ch == '}';
+        brackets += ch == '[';
+        brackets -= ch == ']';
+    }
+    EXPECT_EQ(braces, 0);
+    EXPECT_EQ(brackets, 0);
+}
+
+// --------------------------------------------------------------------
+// Request-id propagation into runner threads
+// --------------------------------------------------------------------
+
+TEST(Flight, RunnerThreadsCarryTheRegionRequestId)
+{
+    // Deterministic single-runner region on a fresh (untagged)
+    // thread: runAs must tag the thread with the region's request id
+    // for the duration of the chunk. Helpers and stealers go through
+    // the same entry point, so this covers every runner kind.
+    uint64_t seen = 999;
+    auto state = std::make_shared<runtime::detail::RegionState>(
+        1, 1,
+        [&](std::size_t) { seen = obs::currentRequestId(); },
+        nullptr, 42);
+    state->loadDeque(0, {0});
+    std::thread t([&] {
+        EXPECT_EQ(obs::currentRequestId(), 0u);
+        state->runAs(0);
+        // The tag is scoped to the region: restored on exit.
+        EXPECT_EQ(obs::currentRequestId(), 0u);
+    });
+    t.join();
+    state->waitDone();
+    EXPECT_EQ(seen, 42u);
+}
+
+TEST(Trace, SpansInsideARequestCarryItsId)
+{
+    if (obs::tracingEnabled())
+        GTEST_SKIP() << "QPAD_TRACE is set; session already active";
+    exec::Context ctx;
+    const std::string path = tracePath("rid_spans");
+    ASSERT_TRUE(obs::startTracing(path));
+    {
+        exec::RequestScope scope(ctx, "rid_spans");
+        runtime::Options exec = ctx.apply(runtime::Options{});
+        exec.num_threads = 2;
+        runtime::parallel_for(
+            exec, 16, 1,
+            [](std::size_t, std::size_t, std::size_t) {
+                QPAD_SPAN("obs.test_rid_chunk");
+            });
+    }
+    obs::stopTracing();
+
+    // Every chunk span — whichever runner executed it — carries the
+    // request's id in its args.
+    const std::string rid_arg =
+        "\"rid\":" + std::to_string(ctx.id());
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::string line;
+    std::size_t chunk_spans = 0;
+    while (std::getline(in, line)) {
+        if (line.find("\"name\":\"obs.test_rid_chunk\"") ==
+            std::string::npos)
+            continue;
+        ++chunk_spans;
+        EXPECT_NE(line.find(rid_arg), std::string::npos) << line;
+    }
+    EXPECT_EQ(chunk_spans, 2u * 16u); // a B and an E per chunk
 }
 
 } // namespace

@@ -92,7 +92,7 @@ TEST(ThreadPool, DestructionAfterRegionRetiresIsClean)
     ThreadPool pool(2);
     std::atomic<std::size_t> hits{0};
     auto state = std::make_shared<runtime::detail::RegionState>(
-        2, 4, [&](std::size_t) { ++hits; }, nullptr);
+        2, 4, [&](std::size_t) { ++hits; }, nullptr, 0);
     state->loadDeque(0, {0, 2});
     state->loadDeque(1, {1, 3});
     pool.dispatchRegion(state, 1);
@@ -127,7 +127,7 @@ TEST(ThreadPoolDeathTest, DestructionDuringActiveRegionAborts)
                             std::this_thread::sleep_for(
                                 std::chrono::hours(1));
                     },
-                    nullptr);
+                    nullptr, 0);
             state->loadDeque(1, {0, 1});
             pool.dispatchRegion(state, 1);
             while (!started.load())

@@ -381,6 +381,7 @@ class RuleRunner
     void ruleUnorderedIter();
     void ruleAtomicOrder();
     void ruleMetricName();
+    void ruleRawLog();
 };
 
 void
@@ -713,6 +714,51 @@ RuleRunner::ruleMetricName()
     }
 }
 
+void
+RuleRunner::ruleRawLog()
+{
+    static const std::set<std::string> printfs = {"fprintf",
+                                                  "vfprintf", "fputs",
+                                                  "fputc", "fwrite"};
+    for (std::size_t i = 0; i < toks_.size(); ++i) {
+        const Token &tk = toks_[i];
+        if (tk.kind != Tok::kIdent)
+            continue;
+        // Any mention of std::cerr counts: passing the stream into a
+        // writer is still a raw stderr write.
+        if (tk.text == "cerr") {
+            add("rawlog", tk.line,
+                "raw std::cerr write: route diagnostics through "
+                "obs::log (structured, leveled, request-id tagged) "
+                "or justify the raw site");
+            continue;
+        }
+        if (!printfs.count(tk.text))
+            continue;
+        const Token *nx = at(i + 1);
+        const Token *pv = prev(i);
+        const bool member = pv && (isP(*pv, ".") || isP(*pv, "->"));
+        if (member || !nx || !isP(*nx, "("))
+            continue;
+        int pd = 0;
+        bool to_stderr = false;
+        for (std::size_t j = i + 1; j < toks_.size(); ++j) {
+            if (isP(toks_[j], "("))
+                ++pd;
+            else if (isP(toks_[j], ")") && --pd == 0)
+                break;
+            else if (isI(toks_[j], "stderr"))
+                to_stderr = true;
+        }
+        if (to_stderr)
+            add("rawlog", tk.line,
+                "'" + tk.text +
+                    "(stderr, ...)': route diagnostics through "
+                    "obs::log (structured, leveled, request-id "
+                    "tagged) or justify the raw site");
+    }
+}
+
 std::vector<Finding>
 RuleRunner::run()
 {
@@ -730,6 +776,8 @@ RuleRunner::run()
         ruleAtomicOrder();
     if (on("metric-name"))
         ruleMetricName();
+    if (on("rawlog"))
+        ruleRawLog();
     return std::move(findings_);
 }
 

@@ -36,6 +36,13 @@
  *                         literals matching the `family.name`
  *                         grammar so metric exports stay
  *                         deterministic and greppable
+ *   rawlog                raw stderr writes (std::cerr, fprintf /
+ *                         fputs to stderr) outside the structured
+ *                         log sink: diagnostics go through obs::log
+ *                         so they stay leveled, request-tagged, and
+ *                         QPAD_LOG-routable; the sink itself,
+ *                         sanctioned stderr exporters, and abort
+ *                         paths justify themselves inline
  *
  * Meta rules (always on, not suppressible):
  *
