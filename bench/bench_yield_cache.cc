@@ -18,7 +18,16 @@
 #include <cstdio>
 #include <cstring>
 #include <iostream>
+#include <string>
 #include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define QPAD_BENCH_FORK 1
+#include <sys/wait.h>
+#include <unistd.h>
+#else
+#define QPAD_BENCH_FORK 0
+#endif
 
 #include "arch/ibm.hh"
 #include "bench_common.hh"
@@ -186,13 +195,19 @@ runSweepCsv(bool expect_warm, bench::BenchJson *json)
     const auto &cs = exp.cache_stats;
     std::fprintf(stderr,
                  "qpad-cache: hits=%llu misses=%llu inserts=%llu "
-                 "evictions=%llu bytes=%llu entries=%llu\n",
+                 "evictions=%llu bytes=%llu entries=%llu "
+                 "lock_waits=%llu lock_timeouts=%llu "
+                 "compactions=%llu persistence_lost=%llu\n",
                  (unsigned long long)cs.hits,
                  (unsigned long long)cs.misses,
                  (unsigned long long)cs.inserts,
                  (unsigned long long)cs.evictions,
                  (unsigned long long)cs.bytes,
-                 (unsigned long long)cs.entries);
+                 (unsigned long long)cs.entries,
+                 (unsigned long long)cs.lock_waits,
+                 (unsigned long long)cs.lock_timeouts,
+                 (unsigned long long)cs.compactions,
+                 (unsigned long long)cs.persistence_lost);
     int rc = 0;
     if (expect_warm && cs.hits == 0) {
         std::fprintf(stderr, "FAIL: expected a warm cache (nonzero "
@@ -213,36 +228,97 @@ runSweepCsv(bool expect_warm, bench::BenchJson *json)
     return rc;
 }
 
+/**
+ * `--writers N`: N forked child processes each run the sweep
+ * experiment concurrently against the SAME QPAD_CACHE_DIR (their
+ * CSVs go to /dev/null — they exist to warm the shared log under
+ * real inter-process contention), then the parent runs the sweep
+ * itself and prints the warm CSV. The CI shared-cache job cmp-gates
+ * that CSV byte-for-byte against a single-writer run: flock
+ * serialization and log compaction must never change a result.
+ */
+int
+runMultiWriter(int writers, bool expect_warm, bench::BenchJson *json)
+{
+#if QPAD_BENCH_FORK
+    std::vector<pid_t> children;
+    for (int w = 0; w < writers; ++w) {
+        const pid_t pid = fork();
+        if (pid < 0) {
+            std::fprintf(stderr, "FAIL: fork failed\n");
+            return 1;
+        }
+        if (pid == 0) {
+            // Child: same workload, silenced stdout. The child's
+            // global store opens the shared dir on first use and
+            // contends on the flock append by append.
+            if (!std::freopen("/dev/null", "w", stdout))
+                std::_Exit(3);
+            std::_Exit(runSweepCsv(false, nullptr) == 0 ? 0 : 1);
+        }
+        children.push_back(pid);
+    }
+    int rc = 0;
+    for (pid_t pid : children) {
+        int status = 0;
+        if (waitpid(pid, &status, 0) != pid || !WIFEXITED(status) ||
+            WEXITSTATUS(status) != 0) {
+            std::fprintf(stderr, "FAIL: writer child failed\n");
+            rc = 1;
+        }
+    }
+    if (rc != 0)
+        return rc;
+    // Parent pass: everything the children computed is on disk now,
+    // so with --expect-warm this must serve from the merged log.
+    return runSweepCsv(expect_warm, json);
+#else
+    (void)writers;
+    (void)expect_warm;
+    (void)json;
+    std::fprintf(stderr, "--writers needs fork(); not available\n");
+    return 2;
+#endif
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     bool sweep = false, expect_warm = false;
+    int writers = 0;
     std::string json_path;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--sweep") == 0)
             sweep = true;
         else if (std::strcmp(argv[i], "--expect-warm") == 0)
             expect_warm = true;
+        else if (std::strcmp(argv[i], "--writers") == 0 &&
+                 i + 1 < argc)
+            writers = std::atoi(argv[++i]);
         else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
             json_path = argv[++i];
         else {
             std::fprintf(stderr,
-                         "usage: %s [--sweep [--expect-warm]] "
-                         "[--json PATH]\n",
+                         "usage: %s [--sweep [--expect-warm] "
+                         "[--writers N]] [--json PATH]\n",
                          argv[0]);
             return 2;
         }
     }
-    if (!sweep && expect_warm) {
-        std::fprintf(stderr, "--expect-warm requires --sweep\n");
+    if ((expect_warm || writers > 0) && !sweep) {
+        std::fprintf(
+            stderr,
+            "--expect-warm and --writers require --sweep\n");
         return 2;
     }
     bench::BenchJson json("yield_cache");
     bench::BenchJson *jp = json_path.empty() ? nullptr : &json;
-    const int rc =
-        sweep ? runSweepCsv(expect_warm, jp) : runMicrobench(jp);
+    const int rc = writers > 0
+                       ? runMultiWriter(writers, expect_warm, jp)
+                       : sweep ? runSweepCsv(expect_warm, jp)
+                               : runMicrobench(jp);
     if (jp)
         json.writeTo(json_path);
     return rc;

@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <memory>
 #include <mutex>
+#include <string_view>
 
 #include "common/gauss_block.hh"
 #include "common/logging.hh"
@@ -54,6 +55,25 @@ optionsFromEnv()
         bytes && *bytes)
         options.max_bytes =
             std::size_t(parseEnvUint("QPAD_CACHE_BYTES", bytes));
+    if (const char *sync = std::getenv("QPAD_CACHE_SYNC");
+        sync && *sync) {
+        const std::string_view value(sync);
+        if (value == "flush")
+            options.sync = SyncPolicy::kFlush;
+        else if (value == "full")
+            options.sync = SyncPolicy::kFull;
+        else
+            qpad_fatal("invalid QPAD_CACHE_SYNC value '", sync,
+                       "' (expected flush or full)");
+    }
+    if (const char *factor = std::getenv("QPAD_CACHE_COMPACT");
+        factor && *factor)
+        options.compact_factor =
+            uint32_t(parseEnvUint("QPAD_CACHE_COMPACT", factor));
+    if (const char *ms = std::getenv("QPAD_CACHE_LOCK_MS");
+        ms && *ms)
+        options.lock_timeout_ms =
+            uint32_t(parseEnvUint("QPAD_CACHE_LOCK_MS", ms));
     return options;
 }
 

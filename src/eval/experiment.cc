@@ -427,6 +427,14 @@ runBenchmark(const benchmarks::BenchmarkInfo &info,
         uint64_t(obs::valueOf(delta, "cache.inserts"));
     experiment.cache_stats.evictions =
         uint64_t(obs::valueOf(delta, "cache.evictions"));
+    experiment.cache_stats.lock_waits =
+        uint64_t(obs::valueOf(delta, "cache.lock_waits"));
+    experiment.cache_stats.lock_timeouts =
+        uint64_t(obs::valueOf(delta, "cache.lock_timeouts"));
+    experiment.cache_stats.compactions =
+        uint64_t(obs::valueOf(delta, "cache.compactions"));
+    experiment.cache_stats.persistence_lost =
+        uint64_t(obs::valueOf(delta, "cache.persistence_lost"));
 
     normalize(experiment);
     return experiment;

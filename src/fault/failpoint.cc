@@ -1,0 +1,279 @@
+#include "fault/failpoint.hh"
+
+#include <cstdlib>
+#include <mutex>
+#include <vector>
+
+#include "common/logging.hh"
+#include "obs/log.hh"
+#include "obs/metrics.hh"
+
+namespace qpad::fault
+{
+
+namespace
+{
+
+/** One configured `<site>.<action>@<trigger>` entry. */
+struct Entry
+{
+    std::string site;
+    Action action = Action::kNone;
+    uint64_t nth = 0;    ///< 1-based trigger hit; 0 with every=true
+    bool from_nth = false; ///< `N+`: the Nth and every later hit
+    bool every = false;  ///< `*`: every hit
+    uint64_t hits = 0;   ///< hits seen so far (per entry)
+};
+
+struct Registry
+{
+    std::mutex mutex;
+    std::vector<Entry> entries;
+    uint64_t triggered = 0;
+};
+
+Registry &
+registry()
+{
+    static Registry *r = new Registry; // leaked: shims may run at exit
+    return *r;
+}
+
+obs::Counter &
+injectedMetric()
+{
+    static obs::Counter &c = obs::counter("fault.injected");
+    return c;
+}
+
+const char *
+actionName(Action a)
+{
+    switch (a) {
+    case Action::kError: return "eio";
+    case Action::kShortWrite: return "short_write";
+    case Action::kKill: return "kill";
+    case Action::kNone: break;
+    }
+    return "none";
+}
+
+/** Parse one entry; returns false with `why` set on bad syntax. */
+bool
+parseEntry(std::string_view text, Entry &out, std::string &why)
+{
+    const std::size_t at = text.rfind('@');
+    if (at == std::string_view::npos || at == 0 ||
+        at + 1 >= text.size()) {
+        why = "expected '<site>.<action>@<trigger>'";
+        return false;
+    }
+    const std::string_view name = text.substr(0, at);
+    std::string_view trigger = text.substr(at + 1);
+
+    const std::size_t dot = name.rfind('.');
+    if (dot == std::string_view::npos || dot == 0 ||
+        dot + 1 >= name.size()) {
+        why = "name must be '<site>.<action>'";
+        return false;
+    }
+    const std::string_view action = name.substr(dot + 1);
+    out.site = std::string(name.substr(0, dot));
+    for (char c : out.site)
+        if (!((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+              c == '.' || c == '_')) {
+            why = "site may use only [a-z0-9._]";
+            return false;
+        }
+    if (action == "eio")
+        out.action = Action::kError;
+    else if (action == "short_write")
+        out.action = Action::kShortWrite;
+    else if (action == "kill")
+        out.action = Action::kKill;
+    else {
+        why = "unknown action '" + std::string(action) +
+              "' (eio, short_write, kill)";
+        return false;
+    }
+
+    if (trigger == "*") {
+        out.every = true;
+        return true;
+    }
+    if (trigger.size() > 1 && trigger.back() == '+') {
+        out.from_nth = true;
+        trigger.remove_suffix(1);
+    }
+    uint64_t n = 0;
+    for (char c : trigger) {
+        if (c < '0' || c > '9') {
+            why = "trigger must be N, N+, or *";
+            return false;
+        }
+        n = n * 10 + uint64_t(c - '0');
+        if (n > (1ull << 32)) {
+            why = "trigger out of range";
+            return false;
+        }
+    }
+    if (n == 0) {
+        why = "trigger hit is 1-based";
+        return false;
+    }
+    out.nth = n;
+    return true;
+}
+
+bool
+parseSpec(std::string_view spec, std::vector<Entry> &entries,
+          std::string &why)
+{
+    std::size_t pos = 0;
+    while (pos <= spec.size()) {
+        std::size_t comma = spec.find(',', pos);
+        if (comma == std::string_view::npos)
+            comma = spec.size();
+        std::string_view item = spec.substr(pos, comma - pos);
+        while (!item.empty() && (item.front() == ' '))
+            item.remove_prefix(1);
+        while (!item.empty() && (item.back() == ' '))
+            item.remove_suffix(1);
+        if (!item.empty()) {
+            Entry e;
+            std::string entry_why;
+            if (!parseEntry(item, e, entry_why)) {
+                why = "failpoint '" + std::string(item) +
+                      "': " + entry_why;
+                return false;
+            }
+            entries.push_back(std::move(e));
+        }
+        if (comma == spec.size())
+            break;
+        pos = comma + 1;
+    }
+    return true;
+}
+
+/** Publish `entries` as the active configuration (counters reset). */
+void
+install(std::vector<Entry> entries)
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    r.entries = std::move(entries);
+    r.triggered = 0;
+    // qpad-lint: allow(atomic-relaxed) "the registry mutex above
+    // publishes the table; the flag is only a fast-path hint"
+    detail::g_fault_state.store(r.entries.empty() ? 1 : 2,
+                                std::memory_order_relaxed);
+}
+
+/** Read QPAD_FAILPOINTS exactly once (malformed values fail loudly,
+ * matching the strict env parsing convention elsewhere). */
+void
+loadFromEnvOnce()
+{
+    static std::once_flag flag;
+    std::call_once(flag, [] {
+        const char *spec = std::getenv("QPAD_FAILPOINTS");
+        if (!spec || !*spec) {
+            install({});
+            return;
+        }
+        std::vector<Entry> entries;
+        std::string why;
+        if (!parseSpec(spec, entries, why))
+            qpad_fatal("invalid QPAD_FAILPOINTS: ", why);
+        install(std::move(entries));
+    });
+}
+
+} // namespace
+
+bool
+configureFailpoints(std::string_view spec, std::string *error)
+{
+    loadFromEnvOnce(); // claim the once-flag so env never overrides
+    std::vector<Entry> entries;
+    std::string why;
+    if (!parseSpec(spec, entries, why)) {
+        if (error)
+            *error = why;
+        return false;
+    }
+    install(std::move(entries));
+    return true;
+}
+
+void
+clearFailpoints()
+{
+    loadFromEnvOnce();
+    install({});
+}
+
+bool
+failpointsArmed()
+{
+    loadFromEnvOnce();
+    // qpad-lint: allow(atomic-relaxed) "hint read; the table is read
+    // under the registry mutex"
+    return detail::g_fault_state.load(std::memory_order_relaxed) == 2;
+}
+
+uint64_t
+failpointTriggerCount()
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    return r.triggered;
+}
+
+void
+failpointKillNow(const char *site)
+{
+    // A real crash flushes nothing and runs no atexit hooks;
+    // std::_Exit is the closest a cooperative process can get.
+    (void)site;
+    std::_Exit(kKillExitCode);
+}
+
+namespace detail
+{
+
+Action
+hitSlow(const char *site)
+{
+    loadFromEnvOnce();
+    // qpad-lint: allow(atomic-relaxed) "hint only; disarmed state is
+    // re-checked under the registry mutex below"
+    if (g_fault_state.load(std::memory_order_relaxed) == 1)
+        return Action::kNone;
+
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    Action strongest = Action::kNone;
+    for (Entry &e : r.entries) {
+        if (e.site != site)
+            continue;
+        ++e.hits;
+        const bool fires =
+            e.every || (e.from_nth ? e.hits >= e.nth : e.hits == e.nth);
+        if (fires && uint8_t(e.action) > uint8_t(strongest))
+            strongest = e.action;
+    }
+    if (strongest != Action::kNone) {
+        ++r.triggered;
+        injectedMetric().add();
+        obs::logDebug("fault.injected",
+                      {{"site", site},
+                       {"action", actionName(strongest)}});
+    }
+    return strongest;
+}
+
+} // namespace detail
+
+} // namespace qpad::fault

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Deterministic fault injection: named failpoints.
+ *
+ * A failpoint is a named I/O site (e.g. `cache.append`) that the
+ * code consults through the fio shims (fault/fio.hh) before every
+ * real operation. Configuration arms an *action* at a site on a
+ * chosen hit:
+ *
+ *     QPAD_FAILPOINTS=cache.append.short_write@3,cache.fsync.eio@*
+ *
+ * grammar, comma-separated entries:
+ *
+ *     <site>.<action>@<trigger>
+ *     action  := eio | short_write | kill
+ *     trigger := N (fires on the Nth hit of the site, 1-based)
+ *              | N+ (the Nth and every later hit)
+ *              | *  (every hit)
+ *
+ * Actions:
+ *   eio          the shim fails the operation (nothing touches disk)
+ *   short_write  the shim writes a strict prefix, then fails — the
+ *                torn-record signature of a crash mid-write
+ *   kill         the process dies on the spot with std::_Exit
+ *                (kKillExitCode); for write sites a strict prefix is
+ *                written first, so the file is torn exactly as a
+ *                real crash mid-append would leave it
+ *
+ * Hits are counted per configured entry, in program order; the cache
+ * serializes its I/O under a lock, so a given workload hits a given
+ * failpoint in a reproducible sequence — "randomized" torture comes
+ * from seeding the *trigger*, never from the framework.
+ *
+ * Cost contract (same discipline as spans and logs): an unconfigured
+ * process pays one relaxed atomic load per shim call — no locks, no
+ * allocation, no string compares. Configuration comes from
+ * QPAD_FAILPOINTS on first use or programmatically via
+ * configureFailpoints() (tests; a torture child arms itself after
+ * fork so the parent stays clean).
+ *
+ * Every triggered injection bumps the `fault.injected` counter and
+ * emits a debug-level `fault.injected` log event, so an armed run is
+ * visible in metrics exports and request reports.
+ */
+
+#ifndef QPAD_FAULT_FAILPOINT_HH
+#define QPAD_FAULT_FAILPOINT_HH
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace qpad::fault
+{
+
+enum class Action : uint8_t
+{
+    kNone = 0,
+    kError,      ///< fail the operation (EIO-style)
+    kShortWrite, ///< write a strict prefix, then fail
+    kKill,       ///< die mid-operation via std::_Exit
+};
+
+/** Exit code of a kill-action death (distinct from every qpad exit
+ * code in use, so a torture harness can assert the death was the
+ * injected one and not a crash of its own). */
+constexpr int kKillExitCode = 113;
+
+/**
+ * Replace the failpoint configuration with `spec` (the
+ * QPAD_FAILPOINTS grammar; empty disarms). Returns false and fills
+ * `error` on a malformed spec, leaving the previous configuration
+ * in place. Hit counters restart from zero.
+ */
+bool configureFailpoints(std::string_view spec,
+                         std::string *error = nullptr);
+
+/** Disarm every failpoint and reset hit counters. */
+void clearFailpoints();
+
+/** Total injections triggered since the last (re)configuration. */
+uint64_t failpointTriggerCount();
+
+namespace detail
+{
+
+/** 0 = env not read yet, 1 = disarmed, 2 = armed. */
+inline std::atomic<int> g_fault_state{0};
+
+/** Slow path: consult the table (reads QPAD_FAILPOINTS first when
+ * the state is still 0). */
+Action hitSlow(const char *site);
+
+} // namespace detail
+
+/**
+ * Count one hit of `site` and return the action to inject (kNone
+ * almost always). The disarmed fast path is a single relaxed load.
+ */
+inline Action
+failpointHit(const char *site)
+{
+    // qpad-lint: allow(atomic-relaxed) "arming flag only; the table
+    // behind it is published under the registry mutex in hitSlow"
+    if (detail::g_fault_state.load(std::memory_order_relaxed) == 1)
+        return Action::kNone;
+    return detail::hitSlow(site);
+}
+
+/** True once any failpoint configuration is armed. */
+bool failpointsArmed();
+
+/** Die the way a kill action does (used by the shims; exposed so
+ * tests can pin the exit code path). */
+[[noreturn]] void failpointKillNow(const char *site);
+
+} // namespace qpad::fault
+
+#endif // QPAD_FAULT_FAILPOINT_HH

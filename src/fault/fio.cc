@@ -1,0 +1,203 @@
+#include "fault/fio.hh"
+
+#include <cerrno>
+
+#include "fault/failpoint.hh"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define QPAD_FIO_POSIX 1
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define QPAD_FIO_POSIX 0
+#endif
+
+namespace qpad::fault
+{
+
+namespace
+{
+
+/** Map a non-write site's injected action onto pass/fail. */
+bool
+injectedFailure(const char *site)
+{
+    const Action a = failpointHit(site);
+    if (a == Action::kKill)
+        failpointKillNow(site);
+    if (a != Action::kNone) {
+        errno = EIO;
+        return true;
+    }
+    return false;
+}
+
+} // namespace
+
+std::FILE *
+fioOpen(const char *site, const std::string &path, const char *mode)
+{
+    if (injectedFailure(site))
+        return nullptr;
+    return std::fopen(path.c_str(), mode);
+}
+
+void
+fioUnbuffered(std::FILE *f)
+{
+    std::setvbuf(f, nullptr, _IONBF, 0);
+}
+
+bool
+fioWrite(const char *site, std::FILE *f, const void *buf,
+         std::size_t n)
+{
+    const Action a = failpointHit(site);
+    if (a == Action::kShortWrite || a == Action::kKill) {
+        // Persist a strict prefix — the torn-record signature of a
+        // crash mid-write. The stream is unbuffered (fioUnbuffered),
+        // so the prefix reaches the kernel before the failure/death.
+        const std::size_t cut = n / 2;
+        if (cut > 0)
+            (void)std::fwrite(buf, 1, cut, f);
+        if (a == Action::kKill)
+            failpointKillNow(site);
+        errno = EIO;
+        return false;
+    }
+    if (a == Action::kError) {
+        errno = EIO;
+        return false;
+    }
+    return std::fwrite(buf, 1, n, f) == n;
+}
+
+std::size_t
+fioRead(const char *site, std::FILE *f, void *buf, std::size_t n)
+{
+    if (injectedFailure(site))
+        return 0;
+    return std::fread(buf, 1, n, f);
+}
+
+bool
+fioFlush(const char *site, std::FILE *f)
+{
+    if (injectedFailure(site))
+        return false;
+    return std::fflush(f) == 0 && std::ferror(f) == 0;
+}
+
+bool
+fioSync(const char *site, std::FILE *f)
+{
+    if (std::fflush(f) != 0)
+        return false;
+    if (injectedFailure(site))
+        return false;
+#if QPAD_FIO_POSIX
+    return ::fsync(::fileno(f)) == 0;
+#else
+    return true; // fflush is the best this platform offers
+#endif
+}
+
+bool
+fioTruncate(const char *site, std::FILE *f, long length)
+{
+    if (injectedFailure(site))
+        return false;
+#if QPAD_FIO_POSIX
+    if (::ftruncate(::fileno(f), off_t(length)) != 0)
+        return false;
+    return std::fseek(f, length, SEEK_SET) == 0;
+#else
+    (void)f;
+    (void)length;
+    return false; // no portable in-place truncate; caller degrades
+#endif
+}
+
+bool
+fioRename(const char *site, const std::string &from,
+          const std::string &to)
+{
+    if (injectedFailure(site))
+        return false;
+    return std::rename(from.c_str(), to.c_str()) == 0;
+}
+
+bool
+fioSyncDir(const char *site, const std::string &dir)
+{
+    if (injectedFailure(site))
+        return false;
+#if QPAD_FIO_POSIX
+    const int fd = ::open(dir.c_str(), O_RDONLY);
+    if (fd >= 0) {
+        (void)::fsync(fd); // best effort: tmpfs et al. may refuse
+        (void)::close(fd);
+    }
+#else
+    (void)dir;
+#endif
+    return true;
+}
+
+void
+fioClose(std::FILE *f)
+{
+    if (f)
+        (void)std::fclose(f);
+}
+
+bool
+fioSameFile(std::FILE *f, const std::string &path)
+{
+#if QPAD_FIO_POSIX
+    struct stat by_fd, by_path;
+    if (::fstat(::fileno(f), &by_fd) != 0 ||
+        ::stat(path.c_str(), &by_path) != 0)
+        return false;
+    return by_fd.st_dev == by_path.st_dev &&
+           by_fd.st_ino == by_path.st_ino;
+#else
+    (void)f;
+    (void)path;
+    return true; // single-writer platforms never swap the inode
+#endif
+}
+
+LockResult
+fioTryLock(const char *site, std::FILE *f)
+{
+    const Action a = failpointHit(site);
+    if (a == Action::kKill)
+        failpointKillNow(site);
+    if (a != Action::kNone)
+        return LockResult::kError;
+#if QPAD_FIO_POSIX
+    if (::flock(::fileno(f), LOCK_EX | LOCK_NB) == 0)
+        return LockResult::kLocked;
+    return (errno == EWOULDBLOCK || errno == EAGAIN)
+               ? LockResult::kBusy
+               : LockResult::kError;
+#else
+    (void)f;
+    return LockResult::kUnsupported;
+#endif
+}
+
+void
+fioUnlock(std::FILE *f)
+{
+#if QPAD_FIO_POSIX
+    (void)::flock(::fileno(f), LOCK_UN);
+#else
+    (void)f;
+#endif
+}
+
+} // namespace qpad::fault

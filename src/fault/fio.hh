@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Failpoint-wrapped file I/O shims.
+ *
+ * Every I/O operation of the persistent cache goes through these
+ * helpers instead of raw stdio/POSIX calls (enforced by the
+ * qpad-lint `raw-io` rule over src/cache/), so a failpoint named
+ * after the site can fail, tear, or kill the operation exactly where
+ * a real disk or crash would:
+ *
+ *     if (!fault::fioWrite("cache.append", log, buf, n)) { ... }
+ *
+ * Semantics under injection (see fault/failpoint.hh):
+ *   eio          the call returns failure without touching the file
+ *   short_write  fioWrite writes a strict prefix, then returns
+ *                failure (other call types treat it as eio)
+ *   kill         write sites persist a strict prefix first, then the
+ *                process dies via std::_Exit(kKillExitCode)
+ *
+ * The flock helpers arbitrate a shared cache directory between
+ * processes. They operate on a dedicated lock FILE (never the log
+ * itself: log compaction replaces the log inode by rename, which
+ * would silently break locks held on the old inode). On platforms
+ * without flock/fileno the lock helpers report kUnsupported and the
+ * store falls back to single-process behavior.
+ */
+
+#ifndef QPAD_FAULT_FIO_HH
+#define QPAD_FAULT_FIO_HH
+
+#include <cstdio>
+#include <string>
+
+namespace qpad::fault
+{
+
+/** fopen through the `<site>.eio` failpoint (nullptr on injection
+ * or real failure). */
+std::FILE *fioOpen(const char *site, const std::string &path,
+                   const char *mode);
+
+/** Make `f` unbuffered: every fioWrite reaches the kernel before it
+ * returns, so torn writes and truncation repair are exact and no
+ * stale stdio buffer can flush at a wrong offset after flock
+ * release. */
+void fioUnbuffered(std::FILE *f);
+
+/**
+ * Write all `n` bytes. short_write/kill injections persist a strict
+ * prefix (n/2 bytes) first; returns false on injection or when the
+ * real fwrite comes up short.
+ */
+bool fioWrite(const char *site, std::FILE *f, const void *buf,
+              std::size_t n);
+
+/** fread, returning the byte count actually read (0 on eio). */
+std::size_t fioRead(const char *site, std::FILE *f, void *buf,
+                    std::size_t n);
+
+/** fflush with its result checked (false on eio or real failure). */
+bool fioFlush(const char *site, std::FILE *f);
+
+/** fflush + fsync of the underlying descriptor. */
+bool fioSync(const char *site, std::FILE *f);
+
+/** Truncate the open file to `length` bytes and reposition at the
+ * new end. Used to cut a torn record back off the log. */
+bool fioTruncate(const char *site, std::FILE *f, long length);
+
+/** rename(from, to), the atomic-replace step of compaction. */
+bool fioRename(const char *site, const std::string &from,
+               const std::string &to);
+
+/** Best-effort fsync of a directory so a rename survives power
+ * loss; returns false only on injection (real failures are
+ * ignored — not every filesystem supports directory fsync). */
+bool fioSyncDir(const char *site, const std::string &dir);
+
+/** fclose (tolerates nullptr; the close itself has no failpoint —
+ * nothing recoverable can be done about a failed close). */
+void fioClose(std::FILE *f);
+
+/** True when `f` still names the same inode as `path` (false after
+ * another process compacted the log out from under us, or when the
+ * platform cannot tell — callers then reopen, which is always
+ * safe). */
+bool fioSameFile(std::FILE *f, const std::string &path);
+
+enum class LockResult
+{
+    kLocked,      ///< exclusive lock acquired
+    kBusy,        ///< held by another process; retry
+    kError,       ///< injection or real flock failure
+    kUnsupported, ///< platform has no flock; proceed unlocked
+};
+
+/** Try to take the exclusive inter-process lock (non-blocking). */
+LockResult fioTryLock(const char *site, std::FILE *f);
+
+/** Release the lock taken by fioTryLock. */
+void fioUnlock(std::FILE *f);
+
+} // namespace qpad::fault
+
+#endif // QPAD_FAULT_FIO_HH

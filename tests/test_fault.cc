@@ -1,0 +1,711 @@
+/**
+ * @file
+ * Tests for qpad::fault and the crash-safe persistent cache built on
+ * it: failpoint spec parsing and trigger schedules, the fio shims'
+ * torn-write semantics, the Store's repair/degrade/compact ladder
+ * under injected faults, and two fork-based proofs — a seeded
+ * kill-cycle torture loop (no committed record is ever lost, torn
+ * tails are truncated exactly once) and two concurrent writer
+ * processes sharing one QPAD_CACHE_DIR through the flock.
+ *
+ * QPAD_TORTURE_CYCLES overrides the kill-cycle count (default 20;
+ * CI raises it).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define QPAD_HAVE_FORK 1
+#include <sys/wait.h>
+#include <unistd.h>
+#else
+#define QPAD_HAVE_FORK 0
+#endif
+
+#include "cache/fingerprint.hh"
+#include "cache/store.hh"
+#include "fault/failpoint.hh"
+#include "fault/fio.hh"
+
+namespace
+{
+
+using namespace qpad;
+namespace fs = std::filesystem;
+
+/** A unique scratch directory under the test temp dir. */
+std::string
+scratchDir(const std::string &name)
+{
+    const std::string dir = testing::TempDir() + "qpad_fault_" + name;
+    fs::remove_all(dir);
+    return dir;
+}
+
+cache::Fingerprint
+keyOf(uint64_t i)
+{
+    cache::Encoder enc;
+    enc.str("fault.key");
+    enc.u64(i);
+    return enc.digest();
+}
+
+/** Deterministic payload for key index `i` (length varies too, so
+ * offsets differ between records). */
+std::vector<uint8_t>
+valueOf(uint64_t i)
+{
+    std::vector<uint8_t> v(48 + std::size_t(i % 17));
+    for (std::size_t j = 0; j < v.size(); ++j)
+        v[j] = uint8_t((i * 31 + j * 7 + 3) & 0xff);
+    return v;
+}
+
+/** Arm a failpoint spec for one scope; disarms on exit so a failing
+ * test cannot leak injections into the next one. */
+class ScopedFailpoints
+{
+  public:
+    explicit ScopedFailpoints(const std::string &spec)
+    {
+        std::string error;
+        armed_ = fault::configureFailpoints(spec, &error);
+        EXPECT_TRUE(armed_) << error;
+    }
+    ~ScopedFailpoints() { fault::clearFailpoints(); }
+    ScopedFailpoints(const ScopedFailpoints &) = delete;
+    ScopedFailpoints &operator=(const ScopedFailpoints &) = delete;
+
+  private:
+    bool armed_ = false;
+};
+
+cache::CacheOptions
+diskOptions(const std::string &dir)
+{
+    cache::CacheOptions options;
+    options.dir = dir;
+    return options;
+}
+
+// --------------------------------------------------------------------
+// Failpoint configuration & triggers
+// --------------------------------------------------------------------
+
+TEST(Failpoint, MalformedSpecsAreRejectedWithoutInstalling)
+{
+    std::string error;
+    EXPECT_FALSE(fault::configureFailpoints("nonsense", &error));
+    EXPECT_FALSE(error.empty());
+    EXPECT_FALSE(fault::configureFailpoints("site.badaction@1", &error));
+    EXPECT_NE(error.find("eio"), std::string::npos);
+    EXPECT_FALSE(fault::configureFailpoints("a.b.eio@x", &error));
+    EXPECT_FALSE(fault::configureFailpoints("a.b.eio@0", &error));
+    EXPECT_FALSE(fault::configureFailpoints("Bad.Site.eio@1", &error));
+    EXPECT_FALSE(fault::failpointsArmed());
+}
+
+TEST(Failpoint, NthTriggerFiresExactlyOnce)
+{
+    ScopedFailpoints fp("some.site.eio@2");
+    EXPECT_TRUE(fault::failpointsArmed());
+    EXPECT_EQ(fault::failpointHit("some.site"), fault::Action::kNone);
+    EXPECT_EQ(fault::failpointHit("some.site"), fault::Action::kError);
+    EXPECT_EQ(fault::failpointHit("some.site"), fault::Action::kNone);
+    EXPECT_EQ(fault::failpointTriggerCount(), 1u);
+}
+
+TEST(Failpoint, FromNthAndEveryTriggers)
+{
+    {
+        ScopedFailpoints fp("a.b.eio@2+");
+        EXPECT_EQ(fault::failpointHit("a.b"), fault::Action::kNone);
+        EXPECT_EQ(fault::failpointHit("a.b"), fault::Action::kError);
+        EXPECT_EQ(fault::failpointHit("a.b"), fault::Action::kError);
+    }
+    {
+        ScopedFailpoints fp("c.d.eio@*");
+        EXPECT_EQ(fault::failpointHit("c.d"), fault::Action::kError);
+        EXPECT_EQ(fault::failpointHit("c.d"), fault::Action::kError);
+    }
+}
+
+TEST(Failpoint, SitesAreIndependentAndStrongestActionWins)
+{
+    ScopedFailpoints fp(
+        "x.y.eio@1, x.y.short_write@1, other.site.eio@1");
+    // Both x.y entries fire on the same hit; short_write outranks.
+    EXPECT_EQ(fault::failpointHit("x.y"),
+              fault::Action::kShortWrite);
+    EXPECT_EQ(fault::failpointHit("unrelated"), fault::Action::kNone);
+    EXPECT_EQ(fault::failpointHit("other.site"),
+              fault::Action::kError);
+}
+
+TEST(Failpoint, ClearDisarmsAndResetsCounters)
+{
+    {
+        ScopedFailpoints fp("p.q.eio@1");
+        EXPECT_EQ(fault::failpointHit("p.q"), fault::Action::kError);
+    }
+    EXPECT_FALSE(fault::failpointsArmed());
+    EXPECT_EQ(fault::failpointHit("p.q"), fault::Action::kNone);
+    EXPECT_EQ(fault::failpointTriggerCount(), 0u);
+}
+
+// --------------------------------------------------------------------
+// fio shims
+// --------------------------------------------------------------------
+
+TEST(Fio, ShortWritePersistsAStrictPrefix)
+{
+    const std::string dir = scratchDir("fio_short");
+    fs::create_directories(dir);
+    const std::string path = dir + "/file";
+    std::FILE *f = fault::fioOpen("t.open", path, "wb");
+    ASSERT_NE(f, nullptr);
+    fault::fioUnbuffered(f);
+    const std::vector<uint8_t> buf(100, 0xaa);
+    {
+        ScopedFailpoints fp("t.write.short_write@1");
+        EXPECT_FALSE(
+            fault::fioWrite("t.write", f, buf.data(), buf.size()));
+    }
+    fault::fioClose(f);
+    EXPECT_EQ(fs::file_size(path), 50u); // exactly half, never all
+}
+
+TEST(Fio, EioFailsWithoutTouchingTheFile)
+{
+    const std::string dir = scratchDir("fio_eio");
+    fs::create_directories(dir);
+    const std::string path = dir + "/file";
+    std::FILE *f = fault::fioOpen("t.open", path, "wb");
+    ASSERT_NE(f, nullptr);
+    const std::vector<uint8_t> buf(100, 0xbb);
+    {
+        ScopedFailpoints fp("t.write.eio@1");
+        EXPECT_FALSE(
+            fault::fioWrite("t.write", f, buf.data(), buf.size()));
+    }
+    fault::fioClose(f);
+    EXPECT_EQ(fs::file_size(path), 0u);
+}
+
+TEST(Fio, TryLockExcludesASecondHandle)
+{
+    const std::string dir = scratchDir("fio_lock");
+    fs::create_directories(dir);
+    const std::string path = dir + "/lockfile";
+    std::FILE *a = fault::fioOpen("t.open", path, "ab");
+    std::FILE *b = fault::fioOpen("t.open", path, "ab");
+    ASSERT_NE(a, nullptr);
+    ASSERT_NE(b, nullptr);
+    const fault::LockResult first = fault::fioTryLock("t.lock", a);
+    if (first == fault::LockResult::kUnsupported) {
+        fault::fioClose(a);
+        fault::fioClose(b);
+        GTEST_SKIP() << "no flock on this platform";
+    }
+    ASSERT_EQ(first, fault::LockResult::kLocked);
+    // flock is per open-file-description: a second fopen of the same
+    // path contends even inside one process.
+    EXPECT_EQ(fault::fioTryLock("t.lock", b),
+              fault::LockResult::kBusy);
+    fault::fioUnlock(a);
+    EXPECT_EQ(fault::fioTryLock("t.lock", b),
+              fault::LockResult::kLocked);
+    fault::fioUnlock(b);
+    fault::fioClose(a);
+    fault::fioClose(b);
+}
+
+// --------------------------------------------------------------------
+// Store under injected faults: repair + graceful degradation
+// --------------------------------------------------------------------
+
+TEST(FaultStore, AppendEioDegradesToMemoryOnlyWithoutTornRecords)
+{
+    const std::string dir = scratchDir("append_eio");
+    {
+        cache::Store store(diskOptions(dir));
+        for (uint64_t i = 0; i < 3; ++i)
+            store.put(keyOf(i), valueOf(i));
+        ASSERT_TRUE(store.persistent());
+
+        ScopedFailpoints fp("cache.append.eio@1");
+        store.put(keyOf(3), valueOf(3));
+        EXPECT_FALSE(store.persistent());
+        EXPECT_EQ(store.stats().persistence_lost, 1u);
+
+        // Memory-only from here on: everything still serves.
+        store.put(keyOf(4), valueOf(4));
+        std::vector<uint8_t> out;
+        EXPECT_TRUE(store.get(keyOf(3), out));
+        EXPECT_EQ(out, valueOf(3));
+        EXPECT_TRUE(store.get(keyOf(4), out));
+    }
+    // The log holds exactly the three pre-fault records, cleanly.
+    cache::Store reopened(diskOptions(dir));
+    const cache::StoreStats s = reopened.stats();
+    EXPECT_EQ(s.disk_loaded, 3u);
+    EXPECT_EQ(s.disk_dropped, 0u);
+    EXPECT_EQ(s.persistence_lost, 0u);
+}
+
+TEST(FaultStore, ShortWriteIsTruncatedAwayBeforeDegrading)
+{
+    const std::string dir = scratchDir("append_short");
+    {
+        cache::Store store(diskOptions(dir));
+        for (uint64_t i = 0; i < 5; ++i)
+            store.put(keyOf(i), valueOf(i));
+
+        ScopedFailpoints fp("cache.append.short_write@1");
+        store.put(keyOf(5), valueOf(5));
+        EXPECT_EQ(store.stats().persistence_lost, 1u);
+    }
+    // The half-written record was cut off on the spot: the reopened
+    // log replays clean, nothing dropped.
+    cache::Store reopened(diskOptions(dir));
+    EXPECT_EQ(reopened.stats().disk_loaded, 5u);
+    EXPECT_EQ(reopened.stats().disk_dropped, 0u);
+}
+
+TEST(FaultStore, FailedTruncateLeavesTornTailForReplayRepair)
+{
+    const std::string dir = scratchDir("truncate_fails");
+    {
+        cache::Store store(diskOptions(dir));
+        for (uint64_t i = 0; i < 4; ++i)
+            store.put(keyOf(i), valueOf(i));
+
+        // Tear the append AND fail the on-the-spot repair: the torn
+        // record stays on disk this time.
+        ScopedFailpoints fp(
+            "cache.append.short_write@1,cache.truncate.eio@1");
+        store.put(keyOf(4), valueOf(4));
+        EXPECT_EQ(store.stats().persistence_lost, 1u);
+    }
+    {
+        // Replay detects the torn tail by checksum and truncates it.
+        cache::Store reopened(diskOptions(dir));
+        EXPECT_EQ(reopened.stats().disk_loaded, 4u);
+        EXPECT_EQ(reopened.stats().disk_dropped, 1u);
+    }
+    // ... after which the file is clean for good.
+    cache::Store again(diskOptions(dir));
+    EXPECT_EQ(again.stats().disk_loaded, 4u);
+    EXPECT_EQ(again.stats().disk_dropped, 0u);
+}
+
+TEST(FaultStore, SyncPolicyGatesTheFsyncSite)
+{
+    const std::string dir = scratchDir("sync_policy");
+    {
+        // Default flush policy never reaches cache.fsync: arming it
+        // on every hit must inject nothing.
+        ScopedFailpoints fp("cache.fsync.eio@*");
+        cache::Store store(diskOptions(dir));
+        store.put(keyOf(0), valueOf(0));
+        EXPECT_TRUE(store.persistent());
+        EXPECT_EQ(fault::failpointTriggerCount(), 0u);
+    }
+    {
+        // kFull fsyncs every append; the same injection now degrades
+        // (and the failed record is repaired away).
+        ScopedFailpoints fp("cache.fsync.eio@1");
+        cache::CacheOptions options = diskOptions(dir);
+        options.sync = cache::SyncPolicy::kFull;
+        cache::Store store(options);
+        store.put(keyOf(1), valueOf(1));
+        EXPECT_FALSE(store.persistent());
+        EXPECT_EQ(store.stats().persistence_lost, 1u);
+    }
+    cache::Store reopened(diskOptions(dir));
+    EXPECT_EQ(reopened.stats().disk_loaded, 1u);
+    EXPECT_EQ(reopened.stats().disk_dropped, 0u);
+}
+
+TEST(FaultStore, OpenFaultFallsBackToMemoryOnly)
+{
+    const std::string dir = scratchDir("open_fault");
+    ScopedFailpoints fp("cache.open.eio@1");
+    cache::Store store(diskOptions(dir));
+    EXPECT_FALSE(store.persistent());
+    EXPECT_EQ(store.stats().persistence_lost, 1u);
+    store.put(keyOf(0), valueOf(0));
+    std::vector<uint8_t> out;
+    EXPECT_TRUE(store.get(keyOf(0), out));
+    EXPECT_EQ(out, valueOf(0));
+}
+
+TEST(FaultStore, LockFaultSkipsOneAppendKeepsPersistence)
+{
+    const std::string dir = scratchDir("lock_fault");
+    {
+        // Lock hit 1 is openLog; hit 2 is the first append.
+        ScopedFailpoints fp("cache.lock.eio@2");
+        cache::Store store(diskOptions(dir));
+        ASSERT_TRUE(store.persistent());
+        store.put(keyOf(0), valueOf(0)); // lock fault: append skipped
+        store.put(keyOf(1), valueOf(1)); // persists normally
+        EXPECT_TRUE(store.persistent());
+        const cache::StoreStats s = store.stats();
+        EXPECT_EQ(s.lock_timeouts, 1u);
+        EXPECT_EQ(s.persistence_lost, 0u);
+        std::vector<uint8_t> out;
+        EXPECT_TRUE(store.get(keyOf(0), out)); // memory still serves
+    }
+    cache::Store reopened(diskOptions(dir));
+    EXPECT_EQ(reopened.stats().disk_loaded, 1u); // only keyOf(1)
+    std::vector<uint8_t> out;
+    EXPECT_TRUE(reopened.get(keyOf(1), out));
+    EXPECT_FALSE(reopened.get(keyOf(0), out));
+}
+
+TEST(FaultStore, ContendedLockTimesOutAndCountsWaits)
+{
+    const std::string dir = scratchDir("lock_contention");
+    cache::CacheOptions options = diskOptions(dir);
+    options.lock_timeout_ms = 40; // keep the bounded wait short
+    cache::Store store(options);
+    ASSERT_TRUE(store.persistent());
+
+    // Hold the inter-process lock from a second handle, as another
+    // process would.
+    std::FILE *blocker = fault::fioOpen(
+        "t.open", dir + "/qpad_cache.lock", "ab");
+    ASSERT_NE(blocker, nullptr);
+    if (fault::fioTryLock("t.lock", blocker) !=
+        fault::LockResult::kLocked) {
+        fault::fioClose(blocker);
+        GTEST_SKIP() << "no flock on this platform";
+    }
+
+    store.put(keyOf(0), valueOf(0)); // waits, times out, skips
+    cache::StoreStats s = store.stats();
+    EXPECT_EQ(s.lock_waits, 1u);
+    EXPECT_EQ(s.lock_timeouts, 1u);
+    EXPECT_TRUE(store.persistent());
+
+    fault::fioUnlock(blocker);
+    fault::fioClose(blocker);
+    store.put(keyOf(1), valueOf(1)); // lock free again: persists
+    s = store.stats();
+    EXPECT_EQ(s.lock_timeouts, 1u);
+    EXPECT_EQ(s.persistence_lost, 0u);
+}
+
+// --------------------------------------------------------------------
+// Compaction
+// --------------------------------------------------------------------
+
+TEST(FaultCompact, CompactLogKeepsLatestRecordPerKey)
+{
+    const std::string dir = scratchDir("compact_basic");
+    cache::CacheOptions options = diskOptions(dir);
+    options.compact_factor = 0; // manual only
+    {
+        cache::Store store(options);
+        for (uint64_t round = 0; round < 6; ++round)
+            for (uint64_t i = 0; i < 4; ++i)
+                store.put(keyOf(i), valueOf(i + round));
+        EXPECT_TRUE(store.compactLog());
+        EXPECT_EQ(store.stats().compactions, 1u);
+    }
+    cache::Store reopened(options);
+    const cache::StoreStats s = reopened.stats();
+    EXPECT_EQ(s.disk_loaded, 4u); // 24 records → 4 live
+    EXPECT_EQ(s.disk_dropped, 0u);
+    std::vector<uint8_t> out;
+    for (uint64_t i = 0; i < 4; ++i) {
+        ASSERT_TRUE(reopened.get(keyOf(i), out));
+        EXPECT_EQ(out, valueOf(i + 5)) << "latest round must win";
+    }
+}
+
+TEST(FaultCompact, ThresholdTriggersDuringAppends)
+{
+    const std::string dir = scratchDir("compact_threshold");
+    cache::CacheOptions options = diskOptions(dir);
+    options.compact_factor = 2;
+    {
+        cache::Store store(options);
+        // 8 keys rewritten over and over: once past the 64-record
+        // floor the 2x threshold fires mid-append.
+        for (uint64_t round = 0; round < 12; ++round)
+            for (uint64_t i = 0; i < 8; ++i)
+                store.put(keyOf(i), valueOf(i + round));
+        EXPECT_GE(store.stats().compactions, 1u);
+    }
+    cache::Store reopened(options);
+    EXPECT_LT(reopened.stats().disk_loaded, 96u); // far fewer than puts
+    EXPECT_EQ(reopened.stats().disk_dropped, 0u);
+    std::vector<uint8_t> out;
+    for (uint64_t i = 0; i < 8; ++i) {
+        ASSERT_TRUE(reopened.get(keyOf(i), out));
+        EXPECT_EQ(out, valueOf(i + 11));
+    }
+}
+
+TEST(FaultCompact, FaultsDuringCompactionLeaveTheOldLogIntact)
+{
+    const std::string dir = scratchDir("compact_fault");
+    cache::CacheOptions options = diskOptions(dir);
+    options.compact_factor = 0;
+    {
+        cache::Store store(options);
+        for (uint64_t i = 0; i < 5; ++i)
+            store.put(keyOf(i), valueOf(i));
+        {
+            ScopedFailpoints fp("cache.compact.write.eio@1");
+            EXPECT_FALSE(store.compactLog());
+        }
+        {
+            ScopedFailpoints fp("cache.compact.rename.eio@1");
+            EXPECT_FALSE(store.compactLog());
+        }
+        EXPECT_TRUE(store.persistent());
+        EXPECT_EQ(store.stats().compactions, 0u);
+        // Third try, no faults: succeeds.
+        EXPECT_TRUE(store.compactLog());
+    }
+    cache::Store reopened(options);
+    EXPECT_EQ(reopened.stats().disk_loaded, 5u);
+    EXPECT_EQ(reopened.stats().disk_dropped, 0u);
+}
+
+TEST(FaultCompact, ForeignCompactionIsDetectedByInodeCheck)
+{
+    const std::string dir = scratchDir("compact_foreign");
+    cache::CacheOptions options = diskOptions(dir);
+    options.compact_factor = 0;
+    cache::Store writer(options);
+    for (uint64_t round = 0; round < 3; ++round)
+        for (uint64_t i = 0; i < 3; ++i)
+            writer.put(keyOf(i), valueOf(i + round));
+
+    {
+        // A second instance — same dance another process would do —
+        // compacts the log, swapping the inode under the writer.
+        cache::Store other(options);
+        EXPECT_TRUE(other.compactLog());
+    }
+
+    // The writer's next append must land in the NEW file, not the
+    // orphaned old inode.
+    writer.put(keyOf(99), valueOf(99));
+    EXPECT_TRUE(writer.persistent());
+
+    cache::Store reopened(options);
+    EXPECT_EQ(reopened.stats().disk_loaded, 4u); // 3 live + 1 new
+    std::vector<uint8_t> out;
+    ASSERT_TRUE(reopened.get(keyOf(99), out));
+    EXPECT_EQ(out, valueOf(99));
+    ASSERT_TRUE(reopened.get(keyOf(1), out));
+    EXPECT_EQ(out, valueOf(1 + 2));
+}
+
+#if QPAD_HAVE_FORK
+
+// --------------------------------------------------------------------
+// Fork-based crash torture
+// --------------------------------------------------------------------
+
+/** Child-side exit codes distinct from fault::kKillExitCode, so the
+ * parent can tell an injected death from a child-side failure. */
+constexpr int kChildNotPersistent = 80;
+constexpr int kChildSurvived = 81;
+constexpr int kChildOk = 0;
+
+uint64_t
+tortureCycles()
+{
+    if (const char *env = std::getenv("QPAD_TORTURE_CYCLES");
+        env && *env) {
+        const unsigned long long v = std::strtoull(env, nullptr, 10);
+        if (v > 0)
+            return v;
+    }
+    return 20;
+}
+
+/** Append one committed key index to the progress file, flushed so
+ * it survives the child's upcoming death. */
+void
+recordProgress(std::FILE *progress, uint64_t index)
+{
+    std::fprintf(progress, "%llu\n", (unsigned long long)index);
+    std::fflush(progress);
+}
+
+std::vector<uint64_t>
+readProgress(const std::string &path)
+{
+    std::vector<uint64_t> committed;
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return committed;
+    unsigned long long v = 0;
+    while (std::fscanf(f, "%llu", &v) == 1)
+        committed.push_back(v);
+    std::fclose(f);
+    return committed;
+}
+
+TEST(FaultTorture, SeededKillCyclesLoseNoCommittedRecord)
+{
+    const std::string dir = scratchDir("torture");
+    const std::string progress_path = dir + "/progress.txt";
+    fs::create_directories(dir);
+
+    const uint64_t cycles = tortureCycles();
+    constexpr uint64_t kPutsPerCycle = 24;
+
+    for (uint64_t cycle = 0; cycle < cycles; ++cycle) {
+        // Deterministic per-cycle schedule: the kill site rotates
+        // over append/flush/fsync and the trigger hit walks 1..13,
+        // so the death lands everywhere from the first record of a
+        // fresh log to deep inside a long replayed one.
+        const uint64_t trigger = 1 + (cycle * 5) % 13;
+        const bool full_sync = cycle % 3 == 2;
+        const char *site = "cache.append";
+        if (cycle % 4 == 1)
+            site = "cache.flush";
+        else if (full_sync && cycle % 4 == 3)
+            site = "cache.fsync";
+        const std::string spec = std::string(site) + ".kill@" +
+                                 std::to_string(trigger);
+
+        const pid_t pid = fork();
+        ASSERT_GE(pid, 0);
+        if (pid == 0) {
+            // ---- child: arm the kill, hammer the cache, die. ----
+            if (!fault::configureFailpoints(spec))
+                std::_Exit(kChildNotPersistent);
+            cache::CacheOptions options = diskOptions(dir);
+            options.sync = full_sync ? cache::SyncPolicy::kFull
+                                     : cache::SyncPolicy::kFlush;
+            cache::Store store(options);
+            if (!store.persistent())
+                std::_Exit(kChildNotPersistent);
+            std::FILE *progress =
+                std::fopen(progress_path.c_str(), "ab");
+            if (!progress)
+                std::_Exit(kChildNotPersistent);
+            for (uint64_t j = 0; j < kPutsPerCycle; ++j) {
+                const uint64_t index = cycle * 1000 + j;
+                // put() returns only once the record is committed
+                // (written + flushed under the flock), so recording
+                // progress AFTER it gives the invariant the parent
+                // checks: progress ⊆ disk.
+                store.put(keyOf(index), valueOf(index));
+                recordProgress(progress, index);
+            }
+            std::_Exit(kChildSurvived);
+        }
+
+        // ---- parent: the child must die by the injected kill. ----
+        int status = 0;
+        ASSERT_EQ(waitpid(pid, &status, 0), pid);
+        ASSERT_TRUE(WIFEXITED(status))
+            << "cycle " << cycle << ": child did not exit";
+        ASSERT_EQ(WEXITSTATUS(status), fault::kKillExitCode)
+            << "cycle " << cycle << " spec " << spec;
+
+        // Recovery: every record the child committed must replay,
+        // and at most the one record torn by the kill may drop.
+        cache::Store verifier(diskOptions(dir));
+        const cache::StoreStats s = verifier.stats();
+        EXPECT_LE(s.disk_dropped, 1u) << "cycle " << cycle;
+        // Cumulative over all cycles so far; a trigger of 1 kills
+        // the child before its first commit, which is fine — the
+        // invariant is committed ⊆ disk, not that commits happened.
+        const std::vector<uint64_t> committed =
+            readProgress(progress_path);
+        std::vector<uint8_t> out;
+        for (uint64_t index : committed) {
+            ASSERT_TRUE(verifier.get(keyOf(index), out))
+                << "cycle " << cycle << ": committed record "
+                << index << " lost";
+            EXPECT_EQ(out, valueOf(index)) << "cycle " << cycle;
+        }
+    }
+
+    // Each cycle's verifier truncated that cycle's torn tail, so the
+    // final log replays with nothing left to drop.
+    cache::Store final_check(diskOptions(dir));
+    EXPECT_EQ(final_check.stats().disk_dropped, 0u);
+    const std::vector<uint64_t> all_committed =
+        readProgress(progress_path);
+    EXPECT_FALSE(all_committed.empty())
+        << "no cycle ever committed a record; the schedule is "
+           "degenerate";
+    EXPECT_GE(final_check.stats().disk_loaded, all_committed.size());
+}
+
+// --------------------------------------------------------------------
+// Two concurrent writer processes, one cache directory
+// --------------------------------------------------------------------
+
+TEST(FaultMultiProcess, TwoWritersProduceOneCleanMergedLog)
+{
+    const std::string dir = scratchDir("two_writers");
+    constexpr uint64_t kPerWriter = 40;
+    constexpr uint64_t kOverlap = 20; // writers share keys 20..39
+
+    auto spawnWriter = [&](uint64_t base) -> pid_t {
+        const pid_t pid = fork();
+        if (pid != 0)
+            return pid;
+        // ---- child: overlapping getOrCompute against the dir ----
+        cache::Store store(diskOptions(dir));
+        if (!store.persistent())
+            std::_Exit(kChildNotPersistent);
+        for (uint64_t j = 0; j < kPerWriter; ++j) {
+            const uint64_t index = base + j;
+            const std::vector<uint8_t> got = store.getOrCompute(
+                keyOf(index), [&] { return valueOf(index); });
+            if (got != valueOf(index))
+                std::_Exit(kChildNotPersistent);
+        }
+        std::_Exit(kChildOk);
+    };
+
+    const pid_t a = spawnWriter(0);
+    ASSERT_GE(a, 0);
+    const pid_t b = spawnWriter(kPerWriter - kOverlap);
+    ASSERT_GE(b, 0);
+    for (pid_t pid : {a, b}) {
+        int status = 0;
+        ASSERT_EQ(waitpid(pid, &status, 0), pid);
+        ASSERT_TRUE(WIFEXITED(status));
+        ASSERT_EQ(WEXITSTATUS(status), kChildOk);
+    }
+
+    // The merged log replays clean: every key present with the right
+    // bytes (overlap keys carry the same value from either writer),
+    // nothing torn, nothing lost.
+    cache::Store merged(diskOptions(dir));
+    const cache::StoreStats s = merged.stats();
+    EXPECT_EQ(s.disk_dropped, 0u);
+    EXPECT_GE(s.disk_loaded, 2 * kPerWriter - kOverlap);
+    std::vector<uint8_t> out;
+    for (uint64_t i = 0; i < 2 * kPerWriter - kOverlap; ++i) {
+        ASSERT_TRUE(merged.get(keyOf(i), out)) << "key " << i;
+        EXPECT_EQ(out, valueOf(i)) << "key " << i;
+    }
+}
+
+#endif // QPAD_HAVE_FORK
+
+} // namespace
